@@ -1,0 +1,40 @@
+"""Shared helpers for the benchmark suite.
+
+Every ``bench_<id>.py`` module regenerates one table/figure of
+``EXPERIMENTS.md`` at CI scale inside a ``pytest-benchmark`` measurement,
+prints the reproduced rows (visible with ``pytest benchmarks/
+--benchmark-only -s``) and writes them to ``benchmarks/output/<id>.txt``
+so the artefact survives output capturing.
+
+Full-scale regeneration goes through the CLI:
+``python -m repro run <ID> --scale full``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.experiments import ExperimentResult, run_experiment
+
+OUTPUT_DIR = Path(__file__).resolve().parent / "output"
+
+
+def run_and_record(
+    benchmark, experiment_id: str, **overrides
+) -> ExperimentResult:
+    """Run one experiment (once) under the benchmark timer and persist it.
+
+    ``pedantic`` with a single round: the experiments are internally
+    replicated already; timing them once keeps the suite's wall-clock sane
+    while still producing a timing row per experiment.
+    """
+    result = benchmark.pedantic(
+        lambda: run_experiment(experiment_id, "ci", **overrides),
+        rounds=1,
+        iterations=1,
+    )
+    text = result.render()
+    OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
+    (OUTPUT_DIR / f"{experiment_id.lower()}.txt").write_text(text + "\n")
+    print("\n" + text)
+    return result

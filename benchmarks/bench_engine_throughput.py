@@ -1,0 +1,39 @@
+"""Micro-benchmark: raw engine round throughput (the hot path).
+
+Unlike the experiment benches (timed once), this measures the vectorized
+round update properly over many iterations: one synchronous round of the
+sampling protocol on 100k users / 3125 resources, held just below
+convergence so every round does real work.
+"""
+
+import numpy as np
+
+from repro.core.protocols import QoSSamplingProtocol
+from repro.core.state import State
+from repro.workloads.generators import uniform_slack
+
+
+def bench_engine_round_100k_users(benchmark):
+    inst = uniform_slack(100_000, 3125, slack=0.25)
+    rng = np.random.default_rng(0)
+    protocol = QoSSamplingProtocol()
+    protocol.reset(inst, rng)
+    base = State.worst_case_pile(inst)
+    active = np.ones(inst.n_users, dtype=bool)
+
+    def one_round():
+        state = base.copy()
+        protocol.step(state, active, rng)
+        return state
+
+    state = benchmark(one_round)
+    assert state.n_satisfied > 0
+
+
+def bench_satisfaction_query_1m_users(benchmark):
+    inst = uniform_slack(1_000_000, 31_250, slack=0.25)
+    rng = np.random.default_rng(0)
+    state = State.uniform_random(inst, rng)
+
+    result = benchmark(state.satisfied_mask)
+    assert result.shape == (1_000_000,)

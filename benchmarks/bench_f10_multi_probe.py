@@ -1,0 +1,14 @@
+"""Bench F10 (extension): power of d choices — the two-choices sweet spot."""
+
+from _common import run_and_record
+
+
+def bench_f10_multi_probe(benchmark):
+    result = run_and_record(
+        benchmark, "F10", ds=(1, 2, 4, 8), n=2048, m=64, n_reps=9
+    )
+    med = result.extra["medians"]
+    # the two-choices jump...
+    assert med[2] <= med[1]
+    # ...and the herding reversal at large d
+    assert med[8] > med[2]

@@ -1,0 +1,12 @@
+"""Bench F11 (extension): the fluid limit — discrete -> mean-field."""
+
+from _common import run_and_record
+
+
+def bench_f11_fluid_limit(benchmark):
+    result = run_and_record(
+        benchmark, "F11", ns=(500, 2000, 8000, 32000), n_reps=7
+    )
+    devs = result.extra["single_devs"]
+    # deviations shrink monotonically-ish across a 64x range of n
+    assert devs[-1] < 0.25 * devs[0]

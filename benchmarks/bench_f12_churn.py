@@ -1,0 +1,15 @@
+"""Bench F12 (extension): steady-state QoS under churn vs offered load."""
+
+from _common import run_and_record
+
+
+def bench_f12_churn(benchmark):
+    result = run_and_record(
+        benchmark, "F12", rhos=(0.6, 0.95, 1.2), m=32, q=8,
+        rounds=400, warmup=100, n_reps=3,
+    )
+    stats = result.extra["stats"]
+    for proto in ("qos-sampling", "permit"):
+        assert stats[(0.6, proto)] > 0.97     # headroom -> near-perfect QoS
+        assert stats[(1.2, proto)] < 0.6      # overload -> degraded
+        assert stats[(1.2, proto)] > 0.02     # ...but far from frozen collapse

@@ -1,0 +1,19 @@
+"""Bench F1: convergence rounds vs n — the O(log n) headline claim.
+
+Regenerates the F1 series (median rounds to satisfaction per n at fixed
+slack and load factor, pile start) and asserts the fitted growth verdict is
+logarithmic.  Full-size series: ``python -m repro run F1 --scale full``.
+"""
+
+from _common import run_and_record
+
+
+def bench_f1_scaling_n(benchmark):
+    result = run_and_record(
+        benchmark,
+        "F1",
+        ns=(250, 500, 1000, 2000, 4000, 8000),
+        n_reps=9,
+    )
+    assert result.extra["verdict"] == "logarithmic"
+    assert all(row[2] == 100 for row in result.rows)  # all runs satisfied

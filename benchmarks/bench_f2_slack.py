@@ -1,0 +1,10 @@
+"""Bench F2: convergence rounds vs slack — tight instances are the hard regime."""
+
+from _common import run_and_record
+
+
+def bench_f2_slack(benchmark):
+    result = run_and_record(benchmark, "F2", n=2048, m=64, n_reps=9)
+    medians = result.extra["medians"]
+    # the tight end costs at least 2x the loose end
+    assert medians[0] >= 2 * medians[-1]

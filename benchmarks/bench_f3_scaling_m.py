@@ -1,0 +1,10 @@
+"""Bench F3: convergence rounds vs m at a fixed load factor n/m."""
+
+from _common import run_and_record
+
+
+def bench_f3_scaling_m(benchmark):
+    result = run_and_record(benchmark, "F3", ms=(8, 16, 32, 64, 128), n_reps=7)
+    medians = result.extra["medians"]
+    # sub-linear growth: doubling m four times must not double rounds four times
+    assert medians[-1] <= 4 * medians[0]

@@ -1,0 +1,15 @@
+"""Bench F4: heterogeneous threshold profiles (staggered / zipf / trap)."""
+
+from _common import run_and_record
+
+
+def bench_f4_hetero_users(benchmark):
+    result = run_and_record(benchmark, "F4")
+    rows = {(r[0], r[1]): r for r in result.rows}
+    # the benign profiles fully satisfy under the permit protocol
+    assert rows[("staggered", "permit")][2] == 100
+    assert rows[("zipf(a=1.5)", "permit")][2] == 100
+    # the trap rows go quiescent below full satisfaction for every protocol
+    for proto in ("qos-sampling", "permit", "best-response"):
+        assert rows[("two-class trap (random)", proto)][3] == 100  # quiescent%
+        assert rows[("two-class trap (random)", proto)][4] < 100   # satisfied%

@@ -1,0 +1,10 @@
+"""Bench F5: heterogeneous resources (identical / related / convex / M/M/1)."""
+
+from _common import run_and_record
+
+
+def bench_f5_hetero_resources(benchmark):
+    result = run_and_record(benchmark, "F5")
+    # every latency family converges to full satisfaction
+    for row in result.rows:
+        assert row[2] == 100, row

@@ -1,0 +1,13 @@
+"""Bench F6: migration-rate ablation — damping matters (U-shape)."""
+
+from _common import run_and_record
+
+
+def bench_f6_rate_ablation(benchmark):
+    result = run_and_record(
+        benchmark, "F6", ps=(0.0625, 0.25, 0.5, 1.0), n=2048, m=64, n_reps=9
+    )
+    med = result.extra["medians"]
+    # too-timid and too-bold are both worse than the middle
+    assert med["const(0.0625)"] > med["const(0.5)"]
+    assert med["const(1)"] > med["const(0.5)"]

@@ -1,0 +1,16 @@
+"""Bench F7: activation schedules — the 1/alpha slowdown law."""
+
+from _common import run_and_record
+
+
+def bench_f7_asynchrony(benchmark):
+    result = run_and_record(
+        benchmark, "F7", alphas=(1.0, 0.5, 0.25), partitions=(2, 4),
+        n=2048, m=64, n_reps=9,
+    )
+    norm = result.extra["normalised"]
+    base = norm["synchronous"]
+    for label, value in norm.items():
+        assert value is not None
+        # normalised rounds within 2.5x of the synchronous baseline
+        assert value <= 2.5 * base, (label, value, base)

@@ -1,0 +1,13 @@
+"""Bench F8: crash self-stabilisation — recovery via the ordinary protocol."""
+
+from _common import run_and_record
+
+
+def bench_f8_failures(benchmark):
+    result = run_and_record(
+        benchmark, "F8", failure_counts=(1, 4, 8), n=2048, m=64,
+        settle_rounds=100, n_reps=7,
+    )
+    for row in result.rows:
+        assert row[1] == 100  # every run re-converged
+        assert row[2] is not None and row[2] < 100  # recovery well under budget

@@ -1,0 +1,22 @@
+"""Bench F9: one-hop visibility on resource graphs — density vs stalling."""
+
+from _common import run_and_record
+
+
+def bench_f9_topology(benchmark):
+    result = run_and_record(
+        benchmark,
+        "F9",
+        topologies=("complete", "random-regular", "barabasi-albert", "ring"),
+        n=1024,
+        m=32,
+        n_reps=9,
+        max_rounds=100_000,
+    )
+    rows = {r[0]: r for r in result.rows}
+    # dense visibility always satisfies; the ring converges at most as often
+    assert rows["complete"][1] == 100
+    assert rows["ring"][1] <= rows["complete"][1]
+    med = result.extra["medians"]
+    if med.get("ring") is not None:
+        assert med["ring"] > med["complete"]

@@ -1,0 +1,14 @@
+"""Bench T1: the protocol comparison table."""
+
+from _common import run_and_record
+
+
+def bench_t1_protocols(benchmark):
+    result = run_and_record(benchmark, "T1", n=2048, m=64, n_reps=7)
+    stats = result.extra["stats"]
+    permit = stats["permit"]["rounds_median"]
+    sampling = stats["qos-sampling(p=0.5)"]["rounds_median"]
+    naive = stats["naive-greedy"]["rounds_median"]
+    br = stats["best-response"]["rounds_median"]
+    assert permit <= sampling <= naive
+    assert br > 20 * sampling  # sequentiality costs ~n rounds

@@ -1,0 +1,15 @@
+"""Bench T2: infeasible instances vs OPT_sat — the satisfaction gap."""
+
+from _common import run_and_record
+
+
+def bench_t2_infeasible(benchmark):
+    result = run_and_record(
+        benchmark, "T2", overload_factors=(1.25, 1.5, 2.0), m=32, q=8, n_reps=7
+    )
+    by_key = {(r[0], r[2], r[3]): r for r in result.rows}
+    for factor in (1.25, 1.5, 2.0):
+        permit_pile = by_key[(factor, "pile", "permit")]
+        permit_rand = by_key[(factor, "random", "permit")]
+        assert permit_pile[6] >= 99.0          # % of OPT from the pile
+        assert permit_rand[6] <= permit_pile[6]

@@ -1,0 +1,11 @@
+"""Bench T3: round engine vs asynchronous message-passing execution."""
+
+from _common import run_and_record
+
+
+def bench_t3_msgsim(benchmark):
+    result = run_and_record(benchmark, "T3", n=384, m=24, n_reps=7)
+    engine_row, msg_row = result.rows
+    assert engine_row[1] == 100.0 and msg_row[1] == 100.0
+    ratio = msg_row[2] / engine_row[2]
+    assert 1 / 3 <= ratio <= 3  # tick-for-round agreement

@@ -1,0 +1,17 @@
+"""Bench T4: the drift premise + QoS-aware vs oblivious balancing."""
+
+from _common import run_and_record
+
+
+def bench_t4_drift_and_oblivious(benchmark):
+    result = run_and_record(
+        benchmark, "T4", n=1024, m=32, n_drift_runs=6, n_reps=7
+    )
+    rows = {r[0]: r for r in result.rows}
+    assert rows["overload-potential drift"][1] < 0
+    assert rows["unsatisfied-count drift"][1] < 0
+    assert rows["overload satisfied/OPT_sat% [permit]"][1] > 95
+    assert (
+        rows["overload satisfied/OPT_sat% [selfish-rebalance (QoS-oblivious)]"][1]
+        < 5
+    )

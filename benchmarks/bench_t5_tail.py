@@ -1,0 +1,15 @@
+"""Bench T5: convergence-time distribution — w.h.p. bound + geometric tail."""
+
+from _common import run_and_record
+
+
+def bench_t5_tail(benchmark):
+    result = run_and_record(
+        benchmark, "T5", slacks=(0.25, 0.05), n=1024, m=32, n_reps=300,
+        delta=0.1,
+    )
+    for row in result.rows:
+        median, whp = row[1], row[3]
+        # concentration: the certified w.h.p. bound is within 2.5x the median
+        assert whp <= 2.5 * median
+        assert row[6] is None or row[6] > 0.8  # geometric tail fits well

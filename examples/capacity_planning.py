@@ -1,0 +1,84 @@
+"""Capacity planning: how many resources does a QoS target need?
+
+A planner wants every user within a congestion bound `q` while the
+population churns (arrivals/departures).  This script answers "how many
+resources?" three ways and shows they agree:
+
+1. **Exact theory** — feasibility needs `m >= ceil(n / q)`; headroom for
+   stochastic population fluctuations comes on top.
+2. **Fluid forecast** (`repro.fluid`) — a deterministic mean-field
+   trajectory that predicts re-convergence speed at any scale in
+   microseconds (validated against the discrete engine in experiment F11).
+3. **Churning simulation** (`repro.sim.opensystem`) — the deployment-facing
+   metric: steady-state satisfied fraction across provisioning levels,
+   rendered as terminal charts.
+
+Run:  python examples/capacity_planning.py
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+import repro
+from repro.fluid import FluidSystem, run_fluid
+from repro.sim.opensystem import run_open_system
+from repro.viz import bar_chart, sparkline
+
+
+def main() -> None:
+    q = 16                      # QoS bound: at most 16 co-tenants
+    expected_population = 1000  # arrivals/departures balance here
+    departure_prob = 0.05       # mean session ~20 rounds
+
+    m_floor = math.ceil(expected_population / q)
+    print(
+        f"target: {expected_population} users (in expectation), QoS bound "
+        f"q = {q}\nfeasibility floor: m >= ceil(n/q) = {m_floor} resources\n"
+    )
+
+    # --- fluid forecast: how fast does a cold start drain? ---------------------
+    print("fluid forecast of a cold start (all users on one resource):")
+    for m in (m_floor, int(1.2 * m_floor), int(1.5 * m_floor)):
+        theta = q / expected_population
+        system = FluidSystem(
+            m=m, thetas=np.asarray([theta]), masses=np.asarray([1.0]), p=0.5
+        )
+        traj = run_fluid(system, initial="pile", eps=1e-6)
+        print(
+            f"  m = {m:3d} ({m / m_floor:4.2f}x floor): "
+            f"{sparkline(traj.unsatisfied, lo=0.0)}  "
+            f"{traj.rounds - 1} rounds to drain"
+        )
+
+    # --- churning simulation: steady-state QoS per provisioning level ----------
+    print("\nsteady-state QoS under churn (permit protocol, 400 rounds):")
+    levels = [1.0, 1.1, 1.25, 1.5]
+    labels, values = [], []
+    for level in levels:
+        m = int(round(level * m_floor))
+        result = run_open_system(
+            m=m,
+            arrival_rate=expected_population * departure_prob,
+            departure_prob=departure_prob,
+            threshold_sampler=float(q),
+            protocol=repro.PermitProtocol(),
+            rounds=400,
+            warmup=100,
+            seed=11,
+        )
+        labels.append(f"m={m} ({level:.2f}x)")
+        values.append(100 * result.steady_satisfied_fraction)
+    print(bar_chart(labels, values, width=40, fmt="{:.2f}% satisfied"))
+
+    print(
+        "\nreading: provisioning at the bare feasibility floor leaves no "
+        "headroom for population fluctuations; ~1.25x the floor already "
+        "holds steady-state QoS near 100%."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""Wireless scenario: distributed channel selection with limited visibility.
+
+Devices share a band of radio channels.  A device's throughput degrades
+with the number of co-channel devices, and each device needs a minimum
+quality of service (a congestion bound).  Crucially, a device cannot probe
+an arbitrary channel: its radio can only scan channels *adjacent in the
+spectrum* to the one it currently uses — exactly the one-hop
+restricted-visibility model of `NeighborhoodSamplingProtocol`.
+
+The script compares spectrum layouts (how much of the band a device can
+see) at identical demand.  Denser visibility converges fast; the extreme
+"adjacent channels only" radio usually *stalls*: the channels next to the
+burst fill exactly to capacity, their devices are satisfied and frozen,
+and the wall blocks everyone still stuck inside the burst — a local trap
+(`repro.core.stability`) that only appears under one-hop visibility.
+Distributed greedy satisfaction needs either enough visibility or
+out-of-band capacity hints to drain a concentrated burst.
+
+Run:  python examples/wireless_channels.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from repro.workloads.topology import TOPOLOGIES
+
+
+def main() -> None:
+    n_devices, n_channels = 500, 25  # 25 channels: a 5x5 torus works too
+    inst = repro.workloads.uniform_slack(n_devices, n_channels, slack=0.35)
+    print(
+        f"{n_devices} devices on {n_channels} channels; each tolerates "
+        f"{inst.thresholds[0]:g} co-channel devices "
+        f"(feasible: {repro.is_feasible(inst)})"
+    )
+    print("\nall devices start crowded on channel 0 (an interference burst)\n")
+
+    print(
+        f"{'visibility':16s} {'all-satisfied':>13s} {'rounds':>7s} "
+        f"{'hops/device':>12s} {'devices served':>15s}"
+    )
+    for name in ("complete", "random-regular", "torus", "ring"):
+        builder = TOPOLOGIES[name]
+        rounds, moves, served, ok = [], [], [], 0
+        for rep in range(5):
+            graph = builder(n_channels, rep)
+            protocol = repro.NeighborhoodSamplingProtocol(graph)
+            result = repro.run(
+                inst,
+                protocol,
+                seed=100 + rep,
+                initial="pile",
+                max_rounds=100_000,
+            )
+            served.append(result.n_satisfied)
+            if result.status == "satisfying":
+                ok += 1
+                rounds.append(result.rounds)
+            moves.append(result.total_moves / n_devices)
+        label = {
+            "complete": "full band scan",
+            "random-regular": "4 random taps",
+            "torus": "2-D lattice",
+            "ring": "adjacent only",
+        }[name]
+        med_rounds = f"{int(np.median(rounds)):7d}" if rounds else f"{'-':>7s}"
+        print(
+            f"{label:16s} {f'{ok}/5':>13s} {med_rounds} "
+            f"{np.mean(moves):12.2f} {np.mean(served):11.0f}/{n_devices}"
+        )
+
+    print(
+        "\nthe 'adjacent only' radio stalls behind satisfied walls around "
+        "the burst: channels at capacity freeze, blocking the devices still "
+        "inside — restricted visibility turns a solvable instance into a "
+        "local trap."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,180 @@
+"""repro — Distributed algorithms for QoS load balancing (reproduction).
+
+A research-grade simulation library reconstructing the model and the
+distributed migration dynamics of *"Distributed algorithms for QoS load
+balancing"* (Ackermann, Fischer, Hoefer, Schöngens; SPAA 2009 / Distributed
+Computing 2011).  See ``DESIGN.md`` for the reconstruction notes (the
+original full text was unavailable) and ``EXPERIMENTS.md`` for the
+experiment suite.
+
+Quickstart::
+
+    import repro
+
+    inst = repro.workloads.uniform_slack(n=2000, m=64, slack=0.25)
+    protocol = repro.QoSSamplingProtocol()
+    result = repro.run(inst, protocol, seed=1)
+    print(result.status, result.rounds)
+"""
+
+from . import analysis, baselines, core, fluid, games, msgsim, sim, viz, workloads
+from .baselines import (
+    SelfishRebalanceProtocol,
+    opt_satisfied,
+    optimal_assignment,
+    round_robin_assignment,
+    water_filling,
+)
+from .core import (
+    AccessMap,
+    AffineLatency,
+    CapacityLatency,
+    IdentityLatency,
+    Instance,
+    LatencyFunction,
+    LatencyProfile,
+    MM1Latency,
+    PolynomialLatency,
+    SpeedScaledLatency,
+    State,
+    TableLatency,
+    UnavailableLatency,
+    additive_slack,
+    blocked_mask,
+    greedy_assignment,
+    improvable_users,
+    is_feasible,
+    is_generous,
+    is_stable,
+    max_satisfied,
+    multiplicative_slack,
+    overload_potential,
+    rosenthal_potential,
+    unsatisfied_count,
+    violation_mass,
+)
+from .core.protocols import (
+    AdaptiveBackoffRate,
+    BestResponseProtocol,
+    BlindRandomProtocol,
+    ConstantRate,
+    MultiProbeProtocol,
+    NaiveGreedyProtocol,
+    NeighborhoodSamplingProtocol,
+    PermitProtocol,
+    Protocol,
+    QoSSamplingProtocol,
+    ResourceGraph,
+    SlackProportionalRate,
+    SweepBestResponse,
+)
+from .registry import (
+    GENERATORS,
+    PROTOCOLS,
+    SCHEDULES,
+    build_instance,
+    build_protocol,
+    build_schedule,
+)
+from .sim import (
+    AlphaSchedule,
+    PartitionSchedule,
+    Recorder,
+    ResourceFailure,
+    ResourceRecovery,
+    RunResult,
+    RunSpec,
+    StaggeredSchedule,
+    SynchronousSchedule,
+    Trace,
+    UserArrival,
+    UserDeparture,
+    replicate,
+    run,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # subpackages
+    "core",
+    "sim",
+    "msgsim",
+    "fluid",
+    "viz",
+    "workloads",
+    "baselines",
+    "analysis",
+    "games",
+    # model
+    "Instance",
+    "State",
+    "AccessMap",
+    "LatencyFunction",
+    "LatencyProfile",
+    "IdentityLatency",
+    "SpeedScaledLatency",
+    "AffineLatency",
+    "PolynomialLatency",
+    "MM1Latency",
+    "CapacityLatency",
+    "UnavailableLatency",
+    "TableLatency",
+    # theory
+    "is_feasible",
+    "greedy_assignment",
+    "max_satisfied",
+    "multiplicative_slack",
+    "additive_slack",
+    "is_stable",
+    "is_generous",
+    "blocked_mask",
+    "improvable_users",
+    "unsatisfied_count",
+    "overload_potential",
+    "violation_mass",
+    "rosenthal_potential",
+    # protocols
+    "Protocol",
+    "QoSSamplingProtocol",
+    "MultiProbeProtocol",
+    "PermitProtocol",
+    "NeighborhoodSamplingProtocol",
+    "ResourceGraph",
+    "BestResponseProtocol",
+    "SweepBestResponse",
+    "NaiveGreedyProtocol",
+    "BlindRandomProtocol",
+    "SelfishRebalanceProtocol",
+    "ConstantRate",
+    "SlackProportionalRate",
+    "AdaptiveBackoffRate",
+    # baselines
+    "optimal_assignment",
+    "opt_satisfied",
+    "water_filling",
+    "round_robin_assignment",
+    # simulation
+    "run",
+    "RunResult",
+    "RunSpec",
+    "replicate",
+    "Recorder",
+    "Trace",
+    "SynchronousSchedule",
+    "AlphaSchedule",
+    "PartitionSchedule",
+    "StaggeredSchedule",
+    "ResourceFailure",
+    "ResourceRecovery",
+    "UserArrival",
+    "UserDeparture",
+    # registries
+    "PROTOCOLS",
+    "SCHEDULES",
+    "GENERATORS",
+    "build_protocol",
+    "build_schedule",
+    "build_instance",
+]

@@ -1,0 +1,69 @@
+"""Trajectory-level convergence diagnostics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sim.metrics import Trajectory
+
+__all__ = [
+    "sustained_convergence_round",
+    "time_to_fraction",
+    "unsatisfied_area",
+    "churn_after",
+]
+
+
+def sustained_convergence_round(
+    trajectory: Trajectory, *, target: int = 0, sustain: int = 1
+) -> int | None:
+    """First round from which ``n_unsatisfied <= target`` holds for
+    ``sustain`` consecutive rounds (and in particular at the end if the
+    trajectory ends inside the window).
+
+    Oscillating protocols can touch zero and bounce back (a herd arrives
+    next round); requiring sustained satisfaction separates genuine
+    convergence from grazing contact.
+    """
+    if sustain < 1:
+        raise ValueError("sustain must be >= 1")
+    ok = trajectory.n_unsatisfied <= target
+    if not np.any(ok):
+        return None
+    run_len = 0
+    for i, flag in enumerate(ok):
+        run_len = run_len + 1 if flag else 0
+        if run_len >= sustain:
+            return i - sustain + 1
+    # Tail shorter than the window but unbroken to the end still counts.
+    if run_len > 0:
+        return int(ok.size - run_len)
+    return None
+
+
+def time_to_fraction(trajectory: Trajectory, fraction: float, n_users: int) -> int | None:
+    """First round with at least ``fraction`` of users satisfied."""
+    if not (0.0 <= fraction <= 1.0):
+        raise ValueError("fraction must be in [0, 1]")
+    satisfied = n_users - trajectory.n_unsatisfied
+    hits = np.nonzero(satisfied >= fraction * n_users)[0]
+    return int(hits[0]) if hits.size else None
+
+
+def unsatisfied_area(trajectory: Trajectory) -> float:
+    """Total user-rounds of dissatisfaction (the regret-style integral).
+
+    Two runs with equal convergence time can differ a lot in how much
+    dissatisfaction they accumulated along the way; this metric orders
+    them.
+    """
+    return float(trajectory.n_unsatisfied.sum())
+
+
+def churn_after(trajectory: Trajectory, round_index: int) -> int:
+    """Total migrations from ``round_index`` on (0 for absorbed runs)."""
+    if round_index < 0:
+        raise ValueError("round_index must be non-negative")
+    if round_index >= trajectory.n_moved.size:
+        return 0
+    return int(trajectory.n_moved[round_index:].sum())

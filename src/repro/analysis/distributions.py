@@ -1,0 +1,109 @@
+"""Convergence-time distributions: tails, geometric rates, w.h.p. bounds.
+
+The theory's statements are "with high probability" statements; the
+experiments' medians hide the tail.  This module turns replicated
+convergence times into the distribution-level quantities those statements
+talk about:
+
+- :func:`survival_function` — the empirical ``P(T > t)``;
+- :func:`geometric_tail_fit` — after the mixing phase these dynamics decay
+  geometrically (each extra round satisfies a constant fraction of the
+  stragglers); the fit extracts the per-round decay rate from the
+  log-survival curve;
+- :func:`whp_quantile` — a distribution-free upper bound: with confidence
+  ``1 - gamma`` (via Dvoretzky–Kiefer–Wolfowitz), ``P(T > t*) <= delta``
+  for the returned ``t*``.  This is the honest finite-sample version of
+  "converges within t* rounds w.h.p."
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["survival_function", "GeometricTail", "geometric_tail_fit", "whp_quantile"]
+
+
+def survival_function(samples) -> tuple[np.ndarray, np.ndarray]:
+    """Empirical survival ``P(T > t)`` at each distinct sample value."""
+    arr = np.asarray(samples, dtype=np.float64)
+    arr = arr[np.isfinite(arr)]
+    if arr.size == 0:
+        raise ValueError("no finite samples")
+    ts = np.unique(arr)
+    probs = np.asarray([(arr > t).mean() for t in ts])
+    return ts, probs
+
+
+@dataclass(frozen=True)
+class GeometricTail:
+    """Fitted tail ``P(T > t) ~ C * rate**t`` (rate in (0, 1) is decay)."""
+
+    rate: float
+    log_c: float
+    r_squared: float
+    n_tail_points: int
+
+    def halving_time(self) -> float:
+        """Rounds per halving of the straggler probability."""
+        if not (0.0 < self.rate < 1.0):
+            return math.inf
+        return math.log(0.5) / math.log(self.rate)
+
+
+def geometric_tail_fit(samples, *, tail_from_quantile: float = 0.5) -> GeometricTail:
+    """Fit the log-survival curve beyond the given quantile.
+
+    Uses only strictly positive survival points (the last sample has
+    empirical survival zero and cannot be log-fitted).  Requires at least
+    three tail points; raise otherwise — callers should widen the sample.
+    """
+    ts, probs = survival_function(samples)
+    cutoff = float(np.quantile(np.asarray(samples, dtype=np.float64), tail_from_quantile))
+    mask = (ts >= cutoff) & (probs > 0)
+    if int(mask.sum()) < 3:
+        raise ValueError("not enough tail points for a geometric fit")
+    x = ts[mask]
+    y = np.log(probs[mask])
+    slope, intercept = np.polyfit(x, y, 1)
+    yhat = slope * x + intercept
+    ss_res = float(np.sum((y - yhat) ** 2))
+    ss_tot = float(np.sum((y - y.mean()) ** 2))
+    r2 = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    return GeometricTail(
+        rate=float(np.exp(slope)),
+        log_c=float(intercept),
+        r_squared=r2,
+        n_tail_points=int(mask.sum()),
+    )
+
+
+def whp_quantile(samples, *, delta: float = 0.05, gamma: float = 0.05) -> float:
+    """Distribution-free "w.h.p. convergence by round t*" bound.
+
+    Returns the smallest sample value ``t*`` such that, with confidence at
+    least ``1 - gamma``, ``P(T > t*) <= delta``.  Uses the DKW inequality:
+    the empirical CDF is within ``eps = sqrt(ln(2/gamma) / (2n))`` of the
+    truth uniformly, so it suffices that the empirical survival at ``t*``
+    is at most ``delta - eps``.  Raises if the sample is too small for the
+    requested ``delta``/``gamma`` (i.e. ``eps >= delta``).
+    """
+    if not (0.0 < delta < 1.0) or not (0.0 < gamma < 1.0):
+        raise ValueError("delta and gamma must be in (0, 1)")
+    arr = np.asarray(samples, dtype=np.float64)
+    arr = arr[np.isfinite(arr)]
+    if arr.size == 0:
+        raise ValueError("no finite samples")
+    eps = math.sqrt(math.log(2.0 / gamma) / (2.0 * arr.size))
+    if eps >= delta:
+        raise ValueError(
+            f"sample too small: DKW epsilon {eps:.3f} >= delta {delta:.3f}; "
+            f"need n >= {math.ceil(math.log(2.0 / gamma) / (2.0 * delta**2))}"
+        )
+    ts, probs = survival_function(arr)
+    ok = probs <= delta - eps
+    if not np.any(ok):
+        raise ValueError("no sample value certifies the requested tail bound")
+    return float(ts[np.argmax(ok)])

@@ -1,0 +1,54 @@
+"""Plain-text table rendering for benchmark output.
+
+The benches print the reproduced figure series / table rows directly to
+stdout (the environment is headless), in a fixed-width format that is easy
+to diff against ``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["format_cell", "render_table"]
+
+
+def format_cell(value: Any) -> str:
+    """Human-stable formatting: ints plain, floats to 4 significant digits."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table."""
+    cells = [[format_cell(v) for v in row] for row in rows]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in cells)) if cells else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(" | ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in cells:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

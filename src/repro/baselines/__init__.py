@@ -1,0 +1,17 @@
+"""Baselines: centralized allocators and the QoS-oblivious selfish dynamic."""
+
+from .centralized import (
+    opt_satisfied,
+    optimal_assignment,
+    round_robin_assignment,
+    water_filling,
+)
+from .selfish import SelfishRebalanceProtocol
+
+__all__ = [
+    "optimal_assignment",
+    "opt_satisfied",
+    "water_filling",
+    "round_robin_assignment",
+    "SelfishRebalanceProtocol",
+]

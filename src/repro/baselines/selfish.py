@@ -1,0 +1,109 @@
+"""QoS-oblivious selfish load balancing (the classical comparator).
+
+The classical distributed load-balancing dynamic (in the style of
+Berenbrink, Friedetzky, Goldberg, Goldberg, Hu and Martin, *Distributed
+selfish load balancing*, SODA 2006) ignores QoS thresholds entirely: every
+user wants lower latency, samples a random resource, and migrates towards
+it with a damped probability proportional to the relative latency gap.
+This converges (quickly, on identical machines) to approximately *balanced*
+loads — the Nash equilibria of the latency-minimisation game.
+
+It is the baseline for experiment T4: balancing is generally the **wrong**
+objective under QoS.  Heterogeneous thresholds often require strongly
+*unbalanced* satisfying states (pack the tolerant users tightly to free a
+quiet resource for a demanding one), which this protocol actively destroys.
+
+Migration rule per round, for every user ``u`` on resource ``r`` with
+latency ``a`` (active per the schedule):
+
+1. sample ``r'`` uniformly; let ``b = ell_{r'}(x_{r'} + w_u)`` be the
+   latency after a hypothetical solo arrival;
+2. if ``b < a``, migrate with probability ``1 - b/a`` (damping that avoids
+   herding and, in the classical analysis, yields expected-constant-factor
+   imbalance decay per round).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.protocols.base import Proposal, Protocol
+from ..core.state import State
+
+__all__ = ["SelfishRebalanceProtocol"]
+
+
+class SelfishRebalanceProtocol(Protocol):
+    """Latency-driven damped migration, oblivious to QoS thresholds."""
+
+    name = "selfish-rebalance"
+
+    def __init__(self, min_gap: float = 0.0):
+        if min_gap < 0:
+            raise ValueError("min_gap must be non-negative")
+        #: Migrate only when the relative improvement exceeds this; a small
+        #: positive value stops late-stage churn between near-equal loads.
+        self.min_gap = float(min_gap)
+
+    def propose(self, state: State, active: np.ndarray, rng: np.random.Generator) -> Proposal:
+        inst = state.instance
+        movers = np.nonzero(active)[0]
+        if movers.size == 0:
+            return Proposal.empty()
+        if inst.access is None:
+            targets = rng.integers(0, inst.n_resources, size=movers.size)
+        else:
+            targets = inst.access.sample(movers, rng)
+        not_self = targets != state.assignment[movers]
+        movers, targets = movers[not_self], targets[not_self]
+        if movers.size == 0:
+            return Proposal.empty()
+
+        w = inst.weights[movers]
+        current = state.user_latencies()[movers]
+        after = inst.latencies.evaluate_at(targets, state.loads[targets] + w)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            rel = np.where(current > 0, after / current, np.inf)
+        improving = (after < current) & (1.0 - rel > self.min_gap)
+        movers, targets, rel = movers[improving], targets[improving], rel[improving]
+        if movers.size == 0:
+            return Proposal.empty()
+        commit = rng.random(movers.size) < (1.0 - rel)
+        return Proposal(movers[commit], targets[commit])
+
+    def is_quiescent(self, state: State) -> bool:
+        """Quiescent iff no user can strictly reduce its latency by moving
+        (a Nash equilibrium of the latency game)."""
+        inst = state.instance
+        current = state.user_latencies()
+        if inst.access is None:
+            for w in np.unique(inst.weights):
+                lat_plus = inst.latencies.evaluate(state.loads + float(w))
+                grp = np.nonzero(inst.weights == w)[0]
+                own = state.assignment[grp]
+                others_min = np.empty(grp.size)
+                if lat_plus.size == 1:
+                    others_min[:] = np.inf
+                else:
+                    two = np.partition(lat_plus, 1)[:2]
+                    gmin, second = float(two[0]), float(two[1])
+                    own_val = lat_plus[own]
+                    others_min = np.where(own_val > gmin, gmin, second)
+                if np.any(others_min < current[grp] * (1.0 - self.min_gap)):
+                    return False
+            return True
+        for u in range(inst.n_users):
+            allowed = inst.access.allowed(u)
+            allowed = allowed[allowed != state.assignment[u]]
+            if allowed.size == 0:
+                continue
+            w = float(inst.weights[u])
+            lat = inst.latencies.evaluate_at(allowed, state.loads[allowed] + w)
+            if bool(np.any(lat < current[u] * (1.0 - self.min_gap))):
+                return False
+        return True
+
+    def describe(self):
+        d = super().describe()
+        d.update(min_gap=self.min_gap)
+        return d

@@ -1,0 +1,287 @@
+"""Command-line interface: run experiments and one-off simulations.
+
+Installed as ``repro-qoslb`` (also ``python -m repro``)::
+
+    repro-qoslb list                         # experiment catalogue
+    repro-qoslb run F1 --scale ci            # one experiment, print table
+    repro-qoslb all --scale full --out out/  # the whole suite, saved
+    repro-qoslb simulate --generator uniform_slack --gen-arg n=2000 \\
+        --gen-arg m=64 --gen-arg slack=0.25 --protocol permit --seed 7
+    repro-qoslb fluid --n 100000 --m 64      # mean-field trajectory forecast
+    repro-qoslb churn --rho 0.9              # steady-state QoS under churn
+    repro-qoslb demo                         # 30-second guided tour
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+__all__ = ["main"]
+
+
+def _parse_value(text: str):
+    """Parse ``key=value`` values: int, float, bool, else string."""
+    for caster in (int, float):
+        try:
+            return caster(text)
+        except ValueError:
+            continue
+    if text.lower() in ("true", "false"):
+        return text.lower() == "true"
+    return text
+
+
+def _kv_args(pairs: list[str]) -> dict:
+    out = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"expected key=value, got {pair!r}")
+        key, value = pair.split("=", 1)
+        out[key] = _parse_value(value)
+    return out
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    from .experiments import EXPERIMENTS
+
+    print(f"{'id':4s}  description")
+    print("-" * 60)
+    for eid, exp in sorted(EXPERIMENTS.items()):
+        print(f"{eid:4s}  {exp.description}")
+    return 0
+
+
+def _save_result(result, out_dir: Path, scale: str) -> None:
+    out_dir.mkdir(parents=True, exist_ok=True)
+    stem = out_dir / f"{result.experiment_id.lower()}_{scale}"
+    stem.with_suffix(".txt").write_text(result.render() + "\n")
+    payload = {
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "headers": result.headers,
+        "rows": [[None if v is None else v for v in row] for row in result.rows],
+        "findings": result.findings,
+    }
+    stem.with_suffix(".json").write_text(json.dumps(payload, indent=2, default=str))
+    print(f"[saved {stem}.txt / .json]")
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from .experiments import run_experiment
+
+    overrides = _kv_args(args.set or [])
+    if args.workers is not None:
+        overrides.setdefault("workers", args.workers)
+    started = time.time()
+    result = run_experiment(args.experiment, args.scale, **overrides)
+    print(result.render())
+    print(f"[{time.time() - started:.1f}s]")
+    if args.out:
+        _save_result(result, Path(args.out), args.scale)
+    return 0
+
+
+def _cmd_all(args: argparse.Namespace) -> int:
+    from .experiments import EXPERIMENTS
+
+    failures = []
+    for eid in sorted(EXPERIMENTS):
+        print(f"\n=== {eid} ===")
+        try:
+            started = time.time()
+            overrides = {}
+            if args.workers is not None:
+                overrides["workers"] = args.workers
+            try:
+                result = EXPERIMENTS[eid].run(args.scale, **overrides)
+            except TypeError:
+                # Experiments without a workers knob (F8, T3) run serially.
+                result = EXPERIMENTS[eid].run(args.scale)
+            print(result.render())
+            print(f"[{time.time() - started:.1f}s]")
+            if args.out:
+                _save_result(result, Path(args.out), args.scale)
+        except Exception as exc:  # pragma: no cover - operator feedback
+            failures.append((eid, exc))
+            print(f"FAILED: {exc!r}")
+    if failures:
+        print(f"\n{len(failures)} experiment(s) failed: {[e for e, _ in failures]}")
+        return 1
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from .registry import build_instance, build_protocol, build_schedule
+    from .sim.engine import run
+
+    instance = build_instance(args.generator, **_kv_args(args.gen_arg or []))
+    protocol = build_protocol(args.protocol, **_kv_args(args.proto_arg or []))
+    schedule = build_schedule(args.schedule, **_kv_args(args.sched_arg or []))
+    result = run(
+        instance,
+        protocol,
+        seed=args.seed,
+        schedule=schedule,
+        max_rounds=args.max_rounds,
+        initial=args.initial,
+    )
+    print(json.dumps(result.summary(), indent=2, default=str))
+    return 0 if result.converged else 2
+
+
+def _cmd_fluid(args: argparse.Namespace) -> int:
+    import math
+
+    import numpy as np
+
+    from .fluid import FluidSystem, run_fluid
+    from .viz import sparkline
+
+    q = math.ceil(args.n / (args.m * (1.0 - args.slack)))
+    system = FluidSystem(
+        m=args.m,
+        thetas=np.asarray([q / args.n]),
+        masses=np.asarray([1.0]),
+        p=args.p,
+    )
+    traj = run_fluid(system, initial=args.initial, eps=args.eps)
+    print(
+        f"fluid forecast: n={args.n}, m={args.m}, slack={args.slack:g} "
+        f"(q={q}), p={args.p:g}, start={args.initial}"
+    )
+    print(f"unsatisfied mass per round: {sparkline(traj.unsatisfied, lo=0.0)}")
+    print("  " + " -> ".join(f"{u:.4f}" for u in traj.unsatisfied[:12]))
+    below = traj.first_below(args.eps)
+    print(
+        f"rounds to unsatisfied mass <= {args.eps:g}: "
+        f"{below if below is not None else f'>{traj.rounds} (budget)'}"
+    )
+    return 0
+
+
+def _cmd_churn(args: argparse.Namespace) -> int:
+    from .registry import build_protocol
+    from .sim.opensystem import run_open_system
+    from .viz import sparkline
+
+    lam = args.rho * args.m * args.q * args.departure_prob
+    result = run_open_system(
+        m=args.m,
+        arrival_rate=lam,
+        departure_prob=args.departure_prob,
+        threshold_sampler=float(args.q),
+        protocol=build_protocol(args.protocol),
+        rounds=args.rounds,
+        warmup=args.warmup,
+        seed=args.seed,
+    )
+    print(
+        f"open system: m={args.m}, q={args.q}, rho={args.rho:g} "
+        f"(arrival rate {lam:.2f}/round, mean lifetime "
+        f"{1 / args.departure_prob:.0f} rounds), protocol={args.protocol}"
+    )
+    print(f"satisfied fraction: {sparkline(result.satisfied_fraction, lo=0.0, hi=1.0)}")
+    print(f"population:         {sparkline(result.population.astype(float))}")
+    for key, value in result.summary().items():
+        print(f"  {key}: {value:.4g}" if isinstance(value, float) else f"  {key}: {value}")
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from . import (
+        PermitProtocol,
+        QoSSamplingProtocol,
+        is_feasible,
+        optimal_assignment,
+        run,
+        workloads,
+    )
+
+    print("QoS load balancing — 30-second tour")
+    print("-----------------------------------")
+    inst = workloads.uniform_slack(n=2000, m=64, slack=0.2)
+    print(f"instance: {inst.name}  (feasible: {is_feasible(inst)})")
+    opt = optimal_assignment(inst)
+    print(f"centralized optimal: satisfying = {opt.is_satisfying()}")
+    for protocol in (QoSSamplingProtocol(), PermitProtocol()):
+        result = run(inst, protocol, seed=42, initial="pile")
+        print(
+            f"{protocol.name:28s} status={result.status:10s} "
+            f"rounds={result.rounds:3d} moves={result.total_moves}"
+        )
+    print("(see `repro-qoslb list` for the full experiment suite)")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-qoslb",
+        description="Distributed QoS load balancing — reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the experiment suite").set_defaults(fn=_cmd_list)
+
+    p_run = sub.add_parser("run", help="run one experiment")
+    p_run.add_argument("experiment", help="experiment id (F1..F9, T1..T4)")
+    p_run.add_argument("--scale", choices=("ci", "full"), default="ci")
+    p_run.add_argument("--out", help="directory for .txt/.json outputs")
+    p_run.add_argument("--workers", type=int, default=None, help="process pool size")
+    p_run.add_argument(
+        "--set",
+        action="append",
+        metavar="KEY=VALUE",
+        help="override an experiment parameter (repeatable)",
+    )
+    p_run.set_defaults(fn=_cmd_run)
+
+    p_all = sub.add_parser("all", help="run the whole suite")
+    p_all.add_argument("--scale", choices=("ci", "full"), default="ci")
+    p_all.add_argument("--out", help="directory for .txt/.json outputs")
+    p_all.add_argument("--workers", type=int, default=None)
+    p_all.set_defaults(fn=_cmd_all)
+
+    p_sim = sub.add_parser("simulate", help="one ad-hoc simulation run")
+    p_sim.add_argument("--generator", required=True)
+    p_sim.add_argument("--gen-arg", action="append", metavar="KEY=VALUE")
+    p_sim.add_argument("--protocol", default="qos-sampling")
+    p_sim.add_argument("--proto-arg", action="append", metavar="KEY=VALUE")
+    p_sim.add_argument("--schedule", default="synchronous")
+    p_sim.add_argument("--sched-arg", action="append", metavar="KEY=VALUE")
+    p_sim.add_argument("--seed", type=int, default=0)
+    p_sim.add_argument("--max-rounds", type=int, default=100_000)
+    p_sim.add_argument("--initial", choices=("random", "pile"), default="random")
+    p_sim.set_defaults(fn=_cmd_simulate)
+
+    p_fluid = sub.add_parser("fluid", help="mean-field trajectory forecast")
+    p_fluid.add_argument("--n", type=int, default=100_000)
+    p_fluid.add_argument("--m", type=int, default=64)
+    p_fluid.add_argument("--slack", type=float, default=0.25)
+    p_fluid.add_argument("--p", type=float, default=0.5)
+    p_fluid.add_argument("--initial", choices=("pile", "uniform"), default="pile")
+    p_fluid.add_argument("--eps", type=float, default=1e-6)
+    p_fluid.set_defaults(fn=_cmd_fluid)
+
+    p_churn = sub.add_parser("churn", help="steady-state QoS under churn")
+    p_churn.add_argument("--m", type=int, default=32)
+    p_churn.add_argument("--q", type=int, default=16)
+    p_churn.add_argument("--rho", type=float, default=0.9)
+    p_churn.add_argument("--departure-prob", type=float, default=0.05)
+    p_churn.add_argument("--rounds", type=int, default=400)
+    p_churn.add_argument("--warmup", type=int, default=100)
+    p_churn.add_argument("--protocol", default="qos-sampling")
+    p_churn.add_argument("--seed", type=int, default=0)
+    p_churn.set_defaults(fn=_cmd_churn)
+
+    sub.add_parser("demo", help="30-second guided tour").set_defaults(fn=_cmd_demo)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,104 @@
+"""Core model of QoS load balancing: instances, states, feasibility, protocols."""
+
+from .certify import (
+    certify_assignment_counts,
+    certify_max_satisfied_witness,
+    certify_satisfying,
+    certify_stable,
+)
+from .feasibility import (
+    FeasibilityResult,
+    MaxSatisfiedResult,
+    additive_slack,
+    brute_force_assignment,
+    greedy_assignment,
+    is_feasible,
+    max_satisfied,
+    max_satisfied_brute_force,
+    multiplicative_slack,
+    segment_dp_assignment,
+)
+from .instance import AccessMap, Instance
+from .latency import (
+    AffineLatency,
+    CapacityLatency,
+    IdentityLatency,
+    LatencyFunction,
+    LatencyProfile,
+    MM1Latency,
+    PolynomialLatency,
+    SpeedScaledLatency,
+    TableLatency,
+    UnavailableLatency,
+)
+from .potential import (
+    overload_potential,
+    rosenthal_potential,
+    unsatisfied_count,
+    violation_mass,
+)
+from .stability import (
+    blocked_mask,
+    deadlock_free_users,
+    improvable_users,
+    is_generous,
+    is_stable,
+    satisfied_resident_min,
+)
+from .state import State
+from .weighted import (
+    WeightedVerdict,
+    first_fit_decreasing,
+    weighted_capacity_bound,
+    weighted_feasibility,
+)
+
+__all__ = [
+    # instance / state
+    "AccessMap",
+    "Instance",
+    "State",
+    # latency
+    "LatencyFunction",
+    "LatencyProfile",
+    "IdentityLatency",
+    "SpeedScaledLatency",
+    "AffineLatency",
+    "PolynomialLatency",
+    "MM1Latency",
+    "CapacityLatency",
+    "UnavailableLatency",
+    "TableLatency",
+    # feasibility
+    "FeasibilityResult",
+    "MaxSatisfiedResult",
+    "greedy_assignment",
+    "segment_dp_assignment",
+    "brute_force_assignment",
+    "is_feasible",
+    "max_satisfied",
+    "max_satisfied_brute_force",
+    "multiplicative_slack",
+    "additive_slack",
+    "first_fit_decreasing",
+    "weighted_capacity_bound",
+    "weighted_feasibility",
+    "WeightedVerdict",
+    # certificates
+    "certify_satisfying",
+    "certify_stable",
+    "certify_assignment_counts",
+    "certify_max_satisfied_witness",
+    # stability
+    "is_stable",
+    "is_generous",
+    "blocked_mask",
+    "improvable_users",
+    "deadlock_free_users",
+    "satisfied_resident_min",
+    # potentials
+    "unsatisfied_count",
+    "overload_potential",
+    "violation_mass",
+    "rosenthal_potential",
+]

@@ -1,0 +1,137 @@
+"""Independent certificate checkers — slow, obviously-correct re-verification.
+
+The fast paths (vectorized masks, incremental loads, memoised DP) are the
+code most likely to harbour subtle bugs, so the library ships a layer of
+deliberately naive re-implementations used as cross-checks in tests and
+available to users who want to audit a result:
+
+- :func:`certify_satisfying` — re-derives every user's latency from
+  scratch with scalar arithmetic;
+- :func:`certify_stable` — re-enumerates every (user, resource) move;
+- :func:`certify_assignment_counts` — recounts loads with a dict;
+- :func:`certify_max_satisfied_witness` — checks an OPT_sat witness
+  attains its claimed count *and* that no single reassignment beats it
+  (a local-optimality spot check; global optimality is certified by the
+  brute-force oracle for small instances).
+
+Each returns ``(ok, issues)`` where ``issues`` is a human-readable list —
+empty iff the certificate holds.
+"""
+
+from __future__ import annotations
+
+from .feasibility import MaxSatisfiedResult
+from .instance import Instance
+from .state import State
+
+__all__ = [
+    "certify_satisfying",
+    "certify_stable",
+    "certify_assignment_counts",
+    "certify_max_satisfied_witness",
+]
+
+
+def _scalar_latency(instance: Instance, r: int, load: float) -> float:
+    return float(instance.latencies[r](float(load)))
+
+
+def _scalar_loads(state: State) -> dict[int, float]:
+    loads: dict[int, float] = {r: 0.0 for r in range(state.instance.n_resources)}
+    for u in range(state.instance.n_users):
+        loads[int(state.assignment[u])] += float(state.instance.weights[u])
+    return loads
+
+
+def certify_assignment_counts(state: State) -> tuple[bool, list[str]]:
+    """Recount loads with plain Python and compare to the incremental ones."""
+    issues = []
+    loads = _scalar_loads(state)
+    for r in range(state.instance.n_resources):
+        if abs(loads[r] - float(state.loads[r])) > 1e-9:
+            issues.append(
+                f"resource {r}: incremental load {float(state.loads[r])} != "
+                f"recount {loads[r]}"
+            )
+    return (not issues), issues
+
+
+def certify_satisfying(state: State) -> tuple[bool, list[str]]:
+    """Scalar re-check that every user meets its threshold."""
+    ok_counts, issues = certify_assignment_counts(state)
+    loads = _scalar_loads(state)
+    for u in range(state.instance.n_users):
+        r = int(state.assignment[u])
+        lat = _scalar_latency(state.instance, r, loads[r])
+        if lat > float(state.instance.thresholds[u]) + 1e-12:
+            issues.append(
+                f"user {u} on resource {r}: latency {lat} > threshold "
+                f"{float(state.instance.thresholds[u])}"
+            )
+    return (not issues), issues
+
+
+def certify_stable(state: State, *, polite: bool = False) -> tuple[bool, list[str]]:
+    """Enumerate every unsatisfied user's every accessible move."""
+    inst = state.instance
+    loads = _scalar_loads(state)
+    issues: list[str] = []
+
+    # satisfied set and per-resource satisfied-resident minimum, scalar.
+    satisfied = {}
+    res_min: dict[int, float] = {r: float("inf") for r in range(inst.n_resources)}
+    for u in range(inst.n_users):
+        r = int(state.assignment[u])
+        lat = _scalar_latency(inst, r, loads[r])
+        satisfied[u] = lat <= float(inst.thresholds[u]) + 1e-12
+        if satisfied[u]:
+            res_min[r] = min(res_min[r], float(inst.thresholds[u]))
+
+    for u in range(inst.n_users):
+        if satisfied[u]:
+            continue
+        for r in inst.accessible(u):
+            r = int(r)
+            if r == int(state.assignment[u]):
+                continue
+            lat = _scalar_latency(inst, r, loads[r] + float(inst.weights[u]))
+            if lat > float(inst.thresholds[u]) + 1e-12:
+                continue
+            if polite and lat > res_min[r] + 1e-12:
+                continue
+            issues.append(
+                f"user {u} (unsatisfied) has a satisfying move to resource {r}"
+            )
+            break
+    return (not issues), issues
+
+
+def certify_max_satisfied_witness(
+    instance: Instance, result: MaxSatisfiedResult
+) -> tuple[bool, list[str]]:
+    """Check an OPT_sat witness attains its count and is 1-move maximal."""
+    issues: list[str] = []
+    if result.state is None:
+        return False, ["result carries no witness state"]
+    state = result.state
+    if state.n_satisfied != result.n_satisfied:
+        issues.append(
+            f"witness satisfies {state.n_satisfied} users, result claims "
+            f"{result.n_satisfied}"
+        )
+    # 1-move maximality: no single user move increases the satisfied count.
+    base = state.n_satisfied
+    for u in range(instance.n_users):
+        original = int(state.assignment[u])
+        for r in instance.accessible(u):
+            r = int(r)
+            if r == original:
+                continue
+            probe = state.copy()
+            probe.move_user(u, r)
+            if probe.n_satisfied > base:
+                issues.append(
+                    f"moving user {u} to resource {r} improves the witness "
+                    f"({probe.n_satisfied} > {base})"
+                )
+    return (not issues), issues

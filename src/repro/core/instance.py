@@ -1,0 +1,259 @@
+"""Instance definition for the QoS load-balancing problem.
+
+An :class:`Instance` bundles everything that defines a problem:
+
+- ``m`` resources with a :class:`~repro.core.latency.LatencyProfile`;
+- ``n`` users, each with a QoS threshold ``q_u > 0`` and a weight
+  ``w_u > 0`` (unit by default);
+- an optional :class:`AccessMap` restricting which resources each user may
+  occupy (complete accessibility by default).
+
+Instances are immutable value objects; dynamics happen on
+:class:`~repro.core.state.State` objects referencing an instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .latency import IdentityLatency, LatencyFunction, LatencyProfile
+
+__all__ = ["AccessMap", "Instance"]
+
+
+class AccessMap:
+    """Which resources each user may occupy, in a flat ragged layout.
+
+    The flat layout (``choices`` + ``offsets``) supports vectorized uniform
+    sampling of an accessible resource for an arbitrary subset of users —
+    the inner operation of every sampling protocol — without per-user
+    Python loops.
+    """
+
+    __slots__ = ("n_users", "n_resources", "choices", "offsets")
+
+    def __init__(self, allowed: Sequence[Sequence[int]], n_resources: int):
+        self.n_users = len(allowed)
+        self.n_resources = int(n_resources)
+        counts = np.asarray([len(a) for a in allowed], dtype=np.int64)
+        if np.any(counts == 0):
+            bad = int(np.nonzero(counts == 0)[0][0])
+            raise ValueError(f"user {bad} has no accessible resource")
+        self.offsets = np.zeros(self.n_users + 1, dtype=np.int64)
+        np.cumsum(counts, out=self.offsets[1:])
+        self.choices = np.empty(int(self.offsets[-1]), dtype=np.int64)
+        for u, a in enumerate(allowed):
+            arr = np.asarray(sorted(set(int(r) for r in a)), dtype=np.int64)
+            if arr.size != len(a):
+                raise ValueError(f"user {u} has duplicate accessible resources")
+            if arr.size and (arr[0] < 0 or arr[-1] >= n_resources):
+                raise ValueError(f"user {u} references an out-of-range resource")
+            self.choices[self.offsets[u] : self.offsets[u + 1]] = arr
+
+    @classmethod
+    def complete(cls, n_users: int, n_resources: int) -> "AccessMap":
+        """Every user may use every resource."""
+        all_res = list(range(n_resources))
+        return cls([all_res] * n_users, n_resources)
+
+    @classmethod
+    def from_matrix(cls, matrix: np.ndarray) -> "AccessMap":
+        """Build from a boolean ``(n_users, n_resources)`` matrix."""
+        matrix = np.asarray(matrix, dtype=bool)
+        if matrix.ndim != 2:
+            raise ValueError("access matrix must be 2-D")
+        allowed = [np.nonzero(row)[0].tolist() for row in matrix]
+        return cls(allowed, matrix.shape[1])
+
+    def allowed(self, u: int) -> np.ndarray:
+        """Resources accessible to user ``u`` (sorted)."""
+        return self.choices[self.offsets[u] : self.offsets[u + 1]]
+
+    def degree(self, u: int) -> int:
+        return int(self.offsets[u + 1] - self.offsets[u])
+
+    def degrees(self) -> np.ndarray:
+        return np.diff(self.offsets)
+
+    def is_complete(self) -> bool:
+        return bool(np.all(np.diff(self.offsets) == self.n_resources))
+
+    def contains(self, users: np.ndarray, resources: np.ndarray) -> np.ndarray:
+        """Vectorized membership: may ``users[i]`` occupy ``resources[i]``?"""
+        users = np.asarray(users, dtype=np.int64)
+        resources = np.asarray(resources, dtype=np.int64)
+        out = np.empty(users.shape, dtype=bool)
+        for i, (u, r) in enumerate(zip(users, resources)):
+            a = self.allowed(int(u))
+            j = np.searchsorted(a, r)
+            out[i] = j < a.size and a[j] == r
+        return out
+
+    def sample(self, users: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Uniformly sample one accessible resource per listed user.
+
+        Fully vectorized: draws a uniform fractional position inside each
+        user's slice of the flat ``choices`` array.
+        """
+        users = np.asarray(users, dtype=np.int64)
+        lo = self.offsets[users]
+        span = self.offsets[users + 1] - lo
+        pos = lo + rng.integers(0, span)
+        return self.choices[pos]
+
+    def to_lists(self) -> list[list[int]]:
+        return [self.allowed(u).tolist() for u in range(self.n_users)]
+
+
+@dataclass(frozen=True)
+class Instance:
+    """An immutable QoS load-balancing instance.
+
+    Parameters
+    ----------
+    thresholds:
+        Per-user QoS requirements ``q_u > 0`` (latency upper bounds).
+    latencies:
+        Per-resource latency functions; see
+        :class:`~repro.core.latency.LatencyProfile`.
+    weights:
+        Per-user congestion weights (default: all ones).  Feasibility
+        theory and the exact centralized baselines require unit weights;
+        the simulation engine supports arbitrary positive weights.
+    access:
+        Optional accessibility restriction; ``None`` means complete.
+    name:
+        Free-form label used in traces and experiment tables.
+    """
+
+    thresholds: np.ndarray
+    latencies: LatencyProfile
+    weights: np.ndarray = field(default=None)  # type: ignore[assignment]
+    access: AccessMap | None = None
+    name: str = "instance"
+
+    def __post_init__(self):
+        thresholds = np.asarray(self.thresholds, dtype=np.float64)
+        if thresholds.ndim != 1 or thresholds.size == 0:
+            raise ValueError("thresholds must be a non-empty 1-D array")
+        if np.any(thresholds <= 0) or not np.all(np.isfinite(thresholds)):
+            raise ValueError("thresholds must be positive and finite")
+        object.__setattr__(self, "thresholds", thresholds)
+
+        if not isinstance(self.latencies, LatencyProfile):
+            raise TypeError("latencies must be a LatencyProfile")
+
+        weights = self.weights
+        if weights is None:
+            weights = np.ones(thresholds.size, dtype=np.float64)
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.shape != thresholds.shape:
+            raise ValueError("weights must match thresholds in shape")
+        if np.any(weights <= 0) or not np.all(np.isfinite(weights)):
+            raise ValueError("weights must be positive and finite")
+        object.__setattr__(self, "weights", weights)
+
+        if self.access is not None:
+            if self.access.n_users != thresholds.size:
+                raise ValueError("access map user count mismatch")
+            if self.access.n_resources != len(self.latencies):
+                raise ValueError("access map resource count mismatch")
+
+        # NumPy arrays make the dataclass unhashable anyway; freeze arrays
+        # to catch accidental mutation of a shared instance.
+        self.thresholds.setflags(write=False)
+        self.weights.setflags(write=False)
+
+    # -- basic shape -----------------------------------------------------------
+
+    @property
+    def n_users(self) -> int:
+        return int(self.thresholds.size)
+
+    @property
+    def n_resources(self) -> int:
+        return len(self.latencies)
+
+    @property
+    def unit_weights(self) -> bool:
+        return bool(np.all(self.weights == 1.0))
+
+    @property
+    def identical_resources(self) -> bool:
+        """True when every resource has the identity latency ``ell(x) = x``."""
+        return all(isinstance(f, IdentityLatency) for f in self.latencies.functions)
+
+    def accessible(self, u: int) -> np.ndarray:
+        """Resources user ``u`` may occupy."""
+        if self.access is None:
+            return np.arange(self.n_resources, dtype=np.int64)
+        return self.access.allowed(u)
+
+    # -- convenience constructors ----------------------------------------------
+
+    @classmethod
+    def identical_machines(
+        cls,
+        thresholds: Sequence[float] | np.ndarray,
+        n_resources: int,
+        *,
+        name: str = "identical",
+    ) -> "Instance":
+        """Identical machines (``ell(x) = x``), complete accessibility."""
+        return cls(
+            thresholds=np.asarray(thresholds, dtype=np.float64),
+            latencies=LatencyProfile.identical(n_resources),
+            name=name,
+        )
+
+    @classmethod
+    def related_machines(
+        cls,
+        thresholds: Sequence[float] | np.ndarray,
+        speeds: Sequence[float],
+        *,
+        name: str = "related",
+    ) -> "Instance":
+        """Uniformly related machines (``ell_r(x) = x / s_r``)."""
+        return cls(
+            thresholds=np.asarray(thresholds, dtype=np.float64),
+            latencies=LatencyProfile.related(speeds),
+            name=name,
+        )
+
+    # -- derived quantities ------------------------------------------------------
+
+    def capacity_for(self, q: float) -> np.ndarray:
+        """Per-resource capacity at threshold ``q``."""
+        return self.latencies.capacities(q)
+
+    def total_capacity_at_min_threshold(self) -> int:
+        """Total users placeable if *every* user had the smallest threshold.
+
+        A quick (conservative) sufficient check: if this is ``>= n`` the
+        instance is trivially feasible regardless of the threshold profile.
+        """
+        return int(np.sum(np.maximum(self.capacity_for(float(self.thresholds.min())), 0)))
+
+    def describe(self) -> dict:
+        """Summary dict used by traces and the CLI."""
+        return {
+            "name": self.name,
+            "n_users": self.n_users,
+            "n_resources": self.n_resources,
+            "unit_weights": self.unit_weights,
+            "identical_resources": self.identical_resources,
+            "threshold_min": float(self.thresholds.min()),
+            "threshold_max": float(self.thresholds.max()),
+            "threshold_mean": float(self.thresholds.mean()),
+            "complete_access": self.access is None or self.access.is_complete(),
+        }
+
+
+def _validate_latency_list(functions: Iterable[LatencyFunction]) -> None:  # pragma: no cover
+    for f in functions:
+        if not isinstance(f, LatencyFunction):
+            raise TypeError(f"expected LatencyFunction, got {type(f)!r}")

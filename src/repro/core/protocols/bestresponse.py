@@ -1,0 +1,170 @@
+"""Sequential best-response dynamics — the game-theoretic baseline.
+
+In the satisfaction game a user's utility is the indicator of meeting its
+QoS requirement, so a *best response* of an unsatisfied user is any move to
+an accessible resource where it would be satisfied; satisfied users'
+best response is to stay.
+
+Two move notions matter (see :mod:`repro.core.stability`):
+
+- **polite** (``polite=True``, default): the move must additionally keep
+  every currently satisfied resident of the target satisfied.  Polite
+  sequential best response is monotone — each move satisfies the mover,
+  breaks nobody, and can only relieve the departed resource — so the
+  satisfied count strictly increases per move and a polite-stable state
+  is reached after at most ``n`` moves.  This bound is asserted in
+  the tests.
+- **selfish** (``polite=False``): the mover checks only itself.  Its
+  arrival can dissatisfy tight residents of the target, so the satisfied
+  count is *not* monotone and termination is only guaranteed by the
+  engine's round budget (the dynamics are still useful as the classic
+  "myopic agent" baseline and stop at selfish-stable states when they hit
+  one).
+
+Two scheduling variants:
+
+- :class:`BestResponseProtocol` — one uniformly random improvable user
+  moves per engine round (the "rounds" column is then the move count).
+- :class:`SweepBestResponse` — each engine round performs a Gauss–Seidel
+  sweep over all users in a fresh random order, applying each improving
+  move immediately.  Rounds are sweeps; moves are counted separately.
+
+Both are *sequential*: they require a global scheduler serialising moves,
+which is exactly what a distributed protocol cannot assume — they appear in
+the tables as the coordination upper bound.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..stability import is_stable, satisfied_resident_min
+from ..state import State
+from .base import Proposal, Protocol, StepOutcome
+
+__all__ = ["BestResponseProtocol", "SweepBestResponse"]
+
+
+def _satisfying_targets(state: State, user: int, polite: bool) -> np.ndarray:
+    """Accessible resources (other than the user's own) that would satisfy
+    ``user``, conservatively counting its own arrival; polite moves also
+    spare the target's satisfied residents."""
+    inst = state.instance
+    u = int(user)
+    allowed = inst.accessible(u)
+    allowed = allowed[allowed != state.assignment[u]]
+    if allowed.size == 0:
+        return allowed
+    w = float(inst.weights[u])
+    lat = inst.latencies.evaluate_at(allowed, state.loads[allowed] + w)
+    ok = lat <= inst.thresholds[u]
+    if polite:
+        res_min = satisfied_resident_min(state)
+        ok &= lat <= res_min[allowed]
+    return allowed[ok]
+
+
+def _best_target(
+    state: State, user: int, rng: np.random.Generator, greedy: bool, polite: bool
+) -> int | None:
+    """Pick a satisfying target: the max-slack one (greedy) or uniform."""
+    candidates = _satisfying_targets(state, user, polite)
+    if candidates.size == 0:
+        return None
+    if not greedy:
+        return int(candidates[rng.integers(0, candidates.size)])
+    w = float(state.instance.weights[int(user)])
+    lat = state.instance.latencies.evaluate_at(
+        candidates, state.loads[candidates] + w
+    )
+    return int(candidates[int(np.argmin(lat))])
+
+
+class BestResponseProtocol(Protocol):
+    """One random improvable user per round moves to a satisfying resource.
+
+    ``greedy=True`` picks the minimum-latency satisfying target (max
+    headroom); ``False`` picks uniformly among satisfying targets.
+    """
+
+    sequential = True
+
+    def __init__(self, greedy: bool = True, polite: bool = True):
+        self.greedy = bool(greedy)
+        self.polite = bool(polite)
+        self.name = "best-response" + ("-polite" if polite else "-selfish")
+
+    def propose(self, state, active, rng):
+        unsat = np.nonzero(active & ~state.satisfied_mask())[0]
+        if unsat.size == 0:
+            return Proposal.empty()
+        # Random scan order; first user with a satisfying move acts.
+        for u in rng.permutation(unsat):
+            target = _best_target(state, int(u), rng, self.greedy, self.polite)
+            if target is not None:
+                return Proposal(
+                    np.asarray([u], dtype=np.int64),
+                    np.asarray([target], dtype=np.int64),
+                )
+        return Proposal.empty()
+
+    def is_quiescent(self, state):
+        return is_stable(state, polite=self.polite)
+
+    def describe(self):
+        d = super().describe()
+        d.update(greedy=self.greedy, polite=self.polite)
+        return d
+
+
+class SweepBestResponse(Protocol):
+    """Gauss–Seidel sweep: every user best-responds in random order.
+
+    Moves are applied immediately inside the sweep, so this overrides
+    :meth:`Protocol.step` instead of returning a simultaneous proposal.
+    """
+
+    sequential = True
+
+    def __init__(self, greedy: bool = True, polite: bool = True):
+        self.greedy = bool(greedy)
+        self.polite = bool(polite)
+        self.name = "sweep-best-response" + ("-polite" if polite else "-selfish")
+
+    def propose(self, state, active, rng):  # pragma: no cover - not used
+        raise NotImplementedError("SweepBestResponse applies moves in step()")
+
+    def step(self, state, active, rng) -> StepOutcome:
+        moved: list[int] = []
+        order = rng.permutation(np.nonzero(active)[0])
+        q = state.instance.thresholds
+        for u in order:
+            u = int(u)
+            # Check satisfaction against the *current* loads: earlier moves
+            # in this sweep may have changed this user's situation.
+            own = int(state.assignment[u])
+            lat = float(
+                state.instance.latencies.evaluate_at(
+                    np.asarray([own]), np.asarray([state.loads[own]])
+                )[0]
+            )
+            if lat <= q[u]:
+                continue
+            target = _best_target(state, u, rng, self.greedy, self.polite)
+            if target is not None:
+                state.move_user(u, target)
+                moved.append(u)
+        moved_arr = np.asarray(moved, dtype=np.int64)
+        return StepOutcome(
+            n_attempted=int(moved_arr.size),
+            n_moved=int(moved_arr.size),
+            moved_users=moved_arr,
+        )
+
+    def is_quiescent(self, state):
+        return is_stable(state, polite=self.polite)
+
+    def describe(self):
+        d = super().describe()
+        d.update(greedy=self.greedy, polite=self.polite)
+        return d

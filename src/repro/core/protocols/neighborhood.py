@@ -1,0 +1,131 @@
+"""Sampling restricted to a resource graph (limited visibility).
+
+In large systems a user cannot probe an arbitrary resource; it only knows
+about resources "near" its current one — neighbouring cells in a wireless
+deployment, adjacent racks, peered servers.  The
+:class:`NeighborhoodSamplingProtocol` models this with an undirected
+*resource graph* ``G`` on the resources: each round an unsatisfied user
+samples uniformly among the neighbours of its **current** resource (its
+visibility horizon is one hop) and applies the same conservative check and
+migration-rate damping as the flat sampling protocol.
+
+Convergence now additionally depends on ``G``'s connectivity and diameter:
+a user may have to traverse several intermediate resources to reach free
+capacity, paying the graph distance in rounds.  Experiment F9 sweeps graph
+families (ring, random-regular, Barabási–Albert, complete) at fixed
+instance parameters to expose the effect.
+
+The graph is given as a :mod:`networkx` graph on resource indices ``0..m-1``
+and compiled once into flat CSR-style adjacency arrays so per-round
+sampling stays vectorized.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from ..state import State
+from .base import Proposal, Protocol
+from .rates import ConstantRate, MigrationRateRule
+
+__all__ = ["ResourceGraph", "NeighborhoodSamplingProtocol"]
+
+
+class ResourceGraph:
+    """Flat adjacency view of an undirected resource graph."""
+
+    __slots__ = ("n_resources", "neighbors", "offsets")
+
+    def __init__(self, graph: nx.Graph, n_resources: int):
+        if graph.number_of_nodes() != n_resources or set(graph.nodes) != set(
+            range(n_resources)
+        ):
+            raise ValueError(
+                "graph nodes must be exactly the resource indices 0..m-1"
+            )
+        if n_resources > 1 and not nx.is_connected(graph):
+            raise ValueError(
+                "resource graph must be connected, or users can be stranded"
+            )
+        self.n_resources = n_resources
+        degs = np.asarray([graph.degree[r] for r in range(n_resources)], dtype=np.int64)
+        if np.any(degs == 0) and n_resources > 1:
+            raise ValueError("every resource needs at least one neighbour")
+        self.offsets = np.zeros(n_resources + 1, dtype=np.int64)
+        np.cumsum(degs, out=self.offsets[1:])
+        self.neighbors = np.empty(int(self.offsets[-1]), dtype=np.int64)
+        for r in range(n_resources):
+            nbrs = sorted(graph.neighbors(r))
+            self.neighbors[self.offsets[r] : self.offsets[r + 1]] = nbrs
+
+    def sample_neighbor(
+        self, resources: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """One uniform neighbour per listed resource (vectorized)."""
+        resources = np.asarray(resources, dtype=np.int64)
+        lo = self.offsets[resources]
+        span = self.offsets[resources + 1] - lo
+        pos = lo + rng.integers(0, np.maximum(span, 1))
+        out = self.neighbors[pos]
+        # Isolated resources (only possible when m == 1) sample themselves.
+        out = np.where(span > 0, out, resources)
+        return out
+
+    def neighbors_of(self, r: int) -> np.ndarray:
+        return self.neighbors[self.offsets[r] : self.offsets[r + 1]]
+
+
+class NeighborhoodSamplingProtocol(Protocol):
+    """Sampling protocol with one-hop visibility on a resource graph."""
+
+    def __init__(self, graph: ResourceGraph, rate: MigrationRateRule | None = None):
+        self.graph = graph
+        self.rate = rate if rate is not None else ConstantRate(0.5)
+        self.name = f"neighborhood[{self.rate.name}]"
+
+    def reset(self, instance, rng):
+        if self.graph.n_resources != instance.n_resources:
+            raise ValueError("resource graph size does not match the instance")
+        self.rate.reset(instance, rng)
+
+    def propose(self, state: State, active: np.ndarray, rng: np.random.Generator) -> Proposal:
+        movers = np.nonzero(active & ~state.satisfied_mask())[0]
+        if movers.size == 0:
+            return Proposal.empty()
+        targets = self.graph.sample_neighbor(state.assignment[movers], rng)
+        not_self = targets != state.assignment[movers]
+        ok = state.would_satisfy(movers, targets) & not_self
+        movers, targets = movers[ok], targets[ok]
+        if movers.size == 0:
+            return Proposal.empty()
+        commit = self.rate.commit_mask(state, movers, targets, rng)
+        return Proposal(movers[commit], targets[commit])
+
+    def observe(self, state, moved_users):
+        self.rate.observe(state, moved_users)
+
+    def is_quiescent(self, state):
+        """Quiescent iff no unsatisfied user's *one-hop* neighbourhood has a
+        satisfying resource.  Weaker than global stability: a user may be
+        locally stuck while distant capacity exists — then the run reports
+        quiescence with unsatisfied users, the F9 failure mode."""
+        inst = state.instance
+        unsat = np.nonzero(~state.satisfied_mask())[0]
+        for u in unsat:
+            u = int(u)
+            own = int(state.assignment[u])
+            nbrs = self.graph.neighbors_of(own)
+            nbrs = nbrs[nbrs != own]
+            if nbrs.size == 0:
+                continue
+            w = float(inst.weights[u])
+            lat = inst.latencies.evaluate_at(nbrs, state.loads[nbrs] + w)
+            if bool(np.any(lat <= inst.thresholds[u])):
+                return False
+        return True
+
+    def describe(self):
+        d = super().describe()
+        d.update(rate=self.rate.describe())
+        return d

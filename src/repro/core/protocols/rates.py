@@ -1,0 +1,194 @@
+"""Migration-rate rules: how aggressively users commit to a sampled target.
+
+In a concurrent dynamic, every unsatisfied user that finds a satisfying
+target and jumps immediately can *herd*: many users pile onto the same
+attractive resource, overshoot its capacity, and remain unsatisfied — the
+system can oscillate forever (see the ``NaiveGreedyProtocol`` rows of
+experiment T1).  The classical fix is to commit only with some probability,
+trading per-round progress for stability.  The rules here are the ablation
+surface of experiment F6:
+
+- :class:`ConstantRate` — commit with fixed probability ``p``.  The
+  headline protocol uses ``p = 1/2`` **[reconstruction]**: any constant in
+  (0, 1) yields the same asymptotics; the experiments sweep ``p``.
+- :class:`SlackProportionalRate` — commit with probability proportional to
+  the target's free capacity relative to the *local* contention estimate
+  (the number of unsatisfied users on the user's own resource).  Uses only
+  information available from the user's own and sampled resource.
+- :class:`AdaptiveBackoffRate` — per-user multiplicative backoff: halve the
+  commit probability after each migration that still leaves the user
+  unsatisfied (overshoot), recover multiplicatively after quiet rounds.
+  Needs one float of per-user state and no extra communication.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from ..instance import Instance
+from ..state import State
+
+__all__ = [
+    "MigrationRateRule",
+    "ConstantRate",
+    "SlackProportionalRate",
+    "AdaptiveBackoffRate",
+]
+
+
+class MigrationRateRule(ABC):
+    """Decides which of the would-be migrants commit this round."""
+
+    name: str = "rate"
+
+    def reset(self, instance: Instance, rng: np.random.Generator) -> None:
+        """(Re-)initialise per-run rule state."""
+
+    @abstractmethod
+    def commit_mask(
+        self,
+        state: State,
+        users: np.ndarray,
+        targets: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Boolean mask over ``users``: who actually migrates."""
+
+    def observe(self, state: State, moved_users: np.ndarray) -> None:
+        """Called after the round's moves are applied."""
+
+    def describe(self) -> dict:
+        return {"name": self.name}
+
+
+class ConstantRate(MigrationRateRule):
+    """Commit independently with a fixed probability ``p``."""
+
+    def __init__(self, p: float = 0.5):
+        if not (0.0 < p <= 1.0):
+            raise ValueError(f"p must be in (0, 1], got {p}")
+        self.p = float(p)
+        self.name = f"const({p:g})"
+
+    def commit_mask(self, state, users, targets, rng):
+        if self.p >= 1.0:
+            return np.ones(users.size, dtype=bool)
+        return rng.random(users.size) < self.p
+
+    def describe(self):
+        return {"name": self.name, "p": self.p}
+
+
+class SlackProportionalRate(MigrationRateRule):
+    """Commit with probability ``min(1, free_target / contention_here)``.
+
+    ``free_target`` is the number of additional users the sampled resource
+    could take while still satisfying *this* user (computed from its own
+    threshold and the target's observed load), and ``contention_here`` is
+    the number of unsatisfied users currently sharing the user's own
+    resource — a local proxy for how many competitors are probing
+    simultaneously.  Both quantities are available from the two resources
+    the user already talks to, so the rule stays distributed.
+
+    **[reconstruction]** — the original paper's rate rule could not be
+    verified against the text; this rule is the natural load-adaptive
+    choice in the Berenbrink et al. tradition and is compared against the
+    constant rate in experiment F6.
+    """
+
+    name = "slack-proportional"
+
+    def __init__(self, floor: float = 1.0 / 64.0):
+        if not (0.0 < floor <= 1.0):
+            raise ValueError("floor must be in (0, 1]")
+        self.floor = float(floor)
+
+    def commit_mask(self, state, users, targets, rng):
+        inst = state.instance
+        q = inst.thresholds[users]
+        # Free capacity of the target w.r.t. each user's own threshold.
+        free = np.empty(users.size, dtype=np.float64)
+        for i, (r, qu) in enumerate(zip(targets, q)):
+            cap = inst.latencies[int(r)].capacity(float(qu))
+            free[i] = max(0.0, cap - state.loads[int(r)])
+        # Local contention: unsatisfied users on own resource.
+        unsat = ~state.satisfied_mask()
+        unsat_per_res = np.bincount(
+            state.assignment[unsat], minlength=inst.n_resources
+        )
+        contention = np.maximum(unsat_per_res[state.assignment[users]], 1)
+        p = np.clip(free / contention, self.floor, 1.0)
+        return rng.random(users.size) < p
+
+    def describe(self):
+        return {"name": self.name, "floor": self.floor}
+
+
+class AdaptiveBackoffRate(MigrationRateRule):
+    """Per-user multiplicative backoff on overshoot.
+
+    Each user keeps a probability ``p_u`` (initially ``p0``).  After a round
+    in which the user migrated and is *still* unsatisfied — evidence of
+    collision — ``p_u`` is multiplied by ``backoff``.  After a round in
+    which the user did not move, ``p_u`` recovers by ``recover`` (capped at
+    1).  The floor prevents starvation.
+    """
+
+    name = "adaptive-backoff"
+
+    def __init__(
+        self,
+        p0: float = 1.0,
+        backoff: float = 0.5,
+        recover: float = 2.0,
+        floor: float = 1.0 / 128.0,
+    ):
+        if not (0.0 < p0 <= 1.0):
+            raise ValueError("p0 must be in (0, 1]")
+        if not (0.0 < backoff < 1.0):
+            raise ValueError("backoff must be in (0, 1)")
+        if recover < 1.0:
+            raise ValueError("recover must be >= 1")
+        if not (0.0 < floor <= 1.0):
+            raise ValueError("floor must be in (0, 1]")
+        self.p0, self.backoff, self.recover, self.floor = (
+            float(p0),
+            float(backoff),
+            float(recover),
+            float(floor),
+        )
+        self._p: np.ndarray | None = None
+
+    def reset(self, instance, rng):
+        self._p = np.full(instance.n_users, self.p0)
+
+    def commit_mask(self, state, users, targets, rng):
+        if self._p is None:  # tolerate use without explicit reset
+            self.reset(state.instance, rng)
+        return rng.random(users.size) < self._p[users]
+
+    def observe(self, state, moved_users):
+        if self._p is None:
+            return
+        # Users that sat out this round recover toward p0=1...
+        quiet = np.ones(self._p.size, dtype=bool)
+        if moved_users.size:
+            quiet[moved_users] = False
+        self._p[quiet] = np.minimum(self._p[quiet] * self.recover, 1.0)
+        if moved_users.size == 0:
+            return
+        # ...while movers that are *still* unsatisfied (collision) back off.
+        still_unsat = ~state.satisfied_mask()
+        collided = moved_users[still_unsat[moved_users]]
+        self._p[collided] = np.maximum(self._p[collided] * self.backoff, self.floor)
+
+    def describe(self):
+        return {
+            "name": self.name,
+            "p0": self.p0,
+            "backoff": self.backoff,
+            "recover": self.recover,
+            "floor": self.floor,
+        }

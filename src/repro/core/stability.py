@@ -1,0 +1,171 @@
+"""Stable states: the solution concept when full satisfaction is blocked.
+
+With heterogeneous thresholds, dynamics in which only *unsatisfied* users
+move can get stuck even on feasible instances.  Minimal example (identical
+machines, ``m = 2``): one user ``u`` with ``q_u = 2`` and six users with
+``q = 10``.  The state with ``u`` plus three big users on resource 0 and
+three big users on resource 1 is *stable*: ``u`` is unsatisfied (load 4 >
+2) but both resources would have load >= 4 after its arrival, so no
+unilateral move helps — yet the satisfying state (six big users together,
+``u`` alone) exists.  Reaching it would require *satisfied* users to move,
+which threshold-satisfaction utilities give them no reason to do.
+
+The library therefore treats **stability** — no unsatisfied user has any
+accessible resource on which it would be satisfied (conservatively, as the
+only arrival) — as the honest convergence criterion, and *satisfying* as
+the strong outcome.  Stable states are exactly the Nash equilibria of the
+satisfaction game in which a user's utility is the indicator of being
+satisfied (ties broken toward not moving).
+
+Two flavours of "move" appear in the protocols, hence two stability
+notions:
+
+- **selfish** (default): user ``u`` may move to ``r`` iff
+  ``ell_r(x_r + w_u) <= q_u`` — the mover checks only itself.  Its arrival
+  may dissatisfy tight residents of ``r``.
+- **polite**: additionally ``ell_r(x_r + w_u)`` must not exceed the
+  smallest threshold among ``r``'s currently *satisfied* residents, so the
+  move never breaks anyone.  Polite moves strictly increase the number of
+  satisfied users, which is the monotonicity the permit protocol and the
+  polite best-response baseline rely on (at most ``n`` moves to polite
+  stability).  Every selfish-stable state is polite-stable; not conversely.
+
+A useful, provable no-deadlock condition for identical machines with unit
+weights (tested in the suite):
+
+    A user with threshold ``q`` can only be blocked (selfishly) while
+    unsatisfied if every other resource has load at least ``floor(q)`` and
+    its own at least ``floor(q) + 1``, which forces
+    ``n >= m*floor(q) + 1``.  Hence a user with ``m*floor(q_u) >= n``
+    always finds room, and instances whose minimum threshold satisfies
+    ``m*floor(q_min) >= n`` admit no selfish-stable unsatisfying state at
+    all — on such *generous* instances the protocols converge to full
+    satisfaction from every initial state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .instance import Instance
+from .state import State
+
+__all__ = [
+    "satisfied_resident_min",
+    "blocked_mask",
+    "improvable_users",
+    "is_stable",
+    "is_generous",
+    "deadlock_free_users",
+]
+
+
+def satisfied_resident_min(state: State) -> np.ndarray:
+    """Per-resource minimum threshold among currently satisfied residents.
+
+    ``+inf`` for resources with no satisfied resident — the bound a polite
+    arrival must not exceed.
+    """
+    inst = state.instance
+    out = np.full(inst.n_resources, np.inf)
+    sat = state.satisfied_mask()
+    if np.any(sat):
+        np.minimum.at(out, state.assignment[sat], inst.thresholds[sat])
+    return out
+
+
+def blocked_mask(state: State, *, polite: bool = False) -> np.ndarray:
+    """Per-user mask: unsatisfied *and* no accessible satisfying move exists.
+
+    The check mirrors the protocols' conservative arrival test: user ``u``
+    can improve iff some accessible resource ``r != A(u)`` has
+    ``ell_r(x_r + w_u) <= q_u`` (and, when ``polite``, also
+    ``<= satisfied_resident_min(r)``).  Satisfied users are never blocked
+    (the mask is False for them).
+    """
+    inst = state.instance
+    n = inst.n_users
+    unsat = ~state.satisfied_mask()
+    blocked = np.zeros(n, dtype=bool)
+    users = np.nonzero(unsat)[0]
+    if users.size == 0:
+        return blocked
+
+    res_min = satisfied_resident_min(state) if polite else None
+
+    if inst.access is None:
+        weights = inst.weights[users]
+        for w in np.unique(weights):
+            lat_plus = inst.latencies.evaluate(state.loads + float(w))
+            # A move to r is admissible for u iff lat_plus[r] <= q_u
+            # (and <= res_min[r] when polite).  Fold the polite bound in by
+            # replacing lat_plus[r] with +inf where it exceeds res_min[r]:
+            eff = lat_plus if res_min is None else np.where(
+                lat_plus <= res_min, lat_plus, np.inf
+            )
+            grp = users[weights == w]
+            own = state.assignment[grp]
+            if eff.size == 1:
+                blocked[grp] = True
+                continue
+            two_smallest = np.partition(eff, 1)[:2]
+            global_min, second = float(two_smallest[0]), float(two_smallest[1])
+            own_eff = eff[own]
+            # Best admissible value over r != own: the global min unless it
+            # is attained only at own (then the second smallest).
+            best_other = np.where(own_eff > global_min, global_min, second)
+            blocked[grp] = best_other > inst.thresholds[grp]
+        return blocked
+
+    for u in users:
+        allowed = inst.access.allowed(int(u))
+        allowed = allowed[allowed != state.assignment[u]]
+        if allowed.size == 0:
+            blocked[u] = True
+            continue
+        w = float(inst.weights[u])
+        lat = inst.latencies.evaluate_at(allowed, state.loads[allowed] + w)
+        ok = lat <= inst.thresholds[u]
+        if polite:
+            ok &= lat <= res_min[allowed]
+        blocked[u] = not bool(np.any(ok))
+    return blocked
+
+
+def improvable_users(state: State, *, polite: bool = False) -> np.ndarray:
+    """Unsatisfied users that do have a satisfying move available."""
+    unsat = ~state.satisfied_mask()
+    return np.nonzero(unsat & ~blocked_mask(state, polite=polite))[0]
+
+
+def is_stable(state: State, *, polite: bool = False) -> bool:
+    """True iff no unsatisfied user has a unilaterally satisfying move.
+
+    ``polite=True`` restricts to moves that do not dissatisfy satisfied
+    residents of the target.  Satisfying states are trivially stable.
+    """
+    return improvable_users(state, polite=polite).size == 0
+
+
+def deadlock_free_users(instance: Instance) -> np.ndarray:
+    """Mask of users that can never be blocked (identical machines, unit w).
+
+    A user with ``m * floor(q_u) >= n`` always finds room: selfish
+    blocking requires every resource to carry load at least ``floor(q_u)``
+    (its own at least ``floor(q_u) + 1``), i.e. ``n >= m*floor(q_u) + 1``.
+    """
+    if not (instance.identical_resources and instance.unit_weights):
+        raise NotImplementedError(
+            "deadlock_free_users is proven for identical machines with unit weights"
+        )
+    floors = np.floor(instance.thresholds)
+    return instance.n_resources * floors >= instance.n_users
+
+
+def is_generous(instance: Instance) -> bool:
+    """True iff *no* user can ever be blocked: ``m*floor(q_min) >= n``.
+
+    On generous instances every selfish-stable state is satisfying, so
+    protocol convergence to stability implies full satisfaction.
+    """
+    return bool(np.all(deadlock_free_users(instance)))

@@ -1,0 +1,218 @@
+"""Mutable assignment state and vectorized state queries.
+
+A :class:`State` is the dynamic object the protocols act on: the current
+assignment of users to resources plus the (incrementally maintained) load
+vector.  All queries the protocols need every round — per-resource
+latencies, the satisfied-user mask, hypothetical "would I be satisfied
+there?" checks — are vectorized NumPy operations; the engine never loops
+over users in Python.
+
+Loads are stored as ``float64``.  For unit-weight instances every load is a
+small integer, which ``float64`` represents exactly, so integer-exact
+feasibility logic remains sound.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .instance import Instance
+
+__all__ = ["State"]
+
+
+class State:
+    """Assignment of users to resources, with incremental load tracking."""
+
+    __slots__ = ("instance", "assignment", "loads")
+
+    def __init__(self, instance: Instance, assignment: np.ndarray):
+        assignment = np.asarray(assignment, dtype=np.int64)
+        if assignment.shape != (instance.n_users,):
+            raise ValueError(
+                f"assignment must have shape ({instance.n_users},), got {assignment.shape}"
+            )
+        if assignment.size and (assignment.min() < 0 or assignment.max() >= instance.n_resources):
+            raise ValueError("assignment references an out-of-range resource")
+        if instance.access is not None:
+            ok = instance.access.contains(
+                np.arange(instance.n_users), assignment
+            )
+            if not np.all(ok):
+                bad = int(np.nonzero(~ok)[0][0])
+                raise ValueError(
+                    f"user {bad} assigned to inaccessible resource {int(assignment[bad])}"
+                )
+        self.instance = instance
+        self.assignment = assignment.copy()
+        self.loads = np.bincount(
+            assignment, weights=instance.weights, minlength=instance.n_resources
+        )
+
+    # -- constructors ------------------------------------------------------------
+
+    @classmethod
+    def uniform_random(cls, instance: Instance, rng: np.random.Generator) -> "State":
+        """Each user starts on a uniformly random accessible resource.
+
+        This is the canonical adversary-free initial state of the dynamics
+        literature; protocols must converge from *any* initial state, which
+        tests exercise via :meth:`worst_case_pile`.
+        """
+        if instance.access is None:
+            assignment = rng.integers(0, instance.n_resources, size=instance.n_users)
+        else:
+            assignment = instance.access.sample(np.arange(instance.n_users), rng)
+        return cls(instance, assignment)
+
+    @classmethod
+    def worst_case_pile(cls, instance: Instance, resource: int = 0) -> "State":
+        """All users piled on one resource — the adversarial initial state."""
+        if not (0 <= resource < instance.n_resources):
+            raise ValueError("resource out of range")
+        if instance.access is not None:
+            # Pile each user on its first accessible resource >= `resource`
+            # if possible, else its first accessible one.
+            assignment = np.empty(instance.n_users, dtype=np.int64)
+            for u in range(instance.n_users):
+                allowed = instance.access.allowed(u)
+                assignment[u] = resource if resource in allowed else allowed[0]
+            return cls(instance, assignment)
+        return cls(instance, np.full(instance.n_users, resource, dtype=np.int64))
+
+    def copy(self) -> "State":
+        clone = State.__new__(State)
+        clone.instance = self.instance
+        clone.assignment = self.assignment.copy()
+        clone.loads = self.loads.copy()
+        return clone
+
+    # -- queries -----------------------------------------------------------------
+
+    def resource_latencies(self) -> np.ndarray:
+        """``ell_r(x_r)`` for every resource."""
+        return self.instance.latencies.evaluate(self.loads)
+
+    def user_latencies(self) -> np.ndarray:
+        """Latency experienced by each user (latency of its resource)."""
+        return self.resource_latencies()[self.assignment]
+
+    def satisfied_mask(self) -> np.ndarray:
+        """Boolean mask: is each user's QoS requirement met?"""
+        return self.user_latencies() <= self.instance.thresholds
+
+    def unsatisfied_users(self) -> np.ndarray:
+        return np.nonzero(~self.satisfied_mask())[0]
+
+    @property
+    def n_satisfied(self) -> int:
+        return int(np.count_nonzero(self.satisfied_mask()))
+
+    @property
+    def n_unsatisfied(self) -> int:
+        return self.instance.n_users - self.n_satisfied
+
+    def is_satisfying(self) -> bool:
+        """True iff every user's QoS requirement is met."""
+        return bool(np.all(self.satisfied_mask()))
+
+    def slack_per_user(self) -> np.ndarray:
+        """``q_u - ell(user)`` — positive is headroom, negative is violation."""
+        return self.instance.thresholds - self.user_latencies()
+
+    def would_satisfy(self, users: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        """Would each ``users[i]`` be satisfied after migrating to ``targets[i]``?
+
+        The check is *conservative*: the hypothetical load of the target is
+        its current load plus the migrating user's own weight, i.e. the user
+        assumes it is the only arrival.  Concurrent arrivals can still
+        overshoot — exactly the phenomenon migration-probability rules damp.
+        Users probing their *own* current resource see its load unchanged.
+        """
+        users = np.asarray(users, dtype=np.int64)
+        targets = np.asarray(targets, dtype=np.int64)
+        w = self.instance.weights[users]
+        staying = self.assignment[users] == targets
+        hypothetical = self.loads[targets] + np.where(staying, 0.0, w)
+        lat = self.instance.latencies.evaluate_at(targets, hypothetical)
+        return lat <= self.instance.thresholds[users]
+
+    # -- mutation ----------------------------------------------------------------
+
+    def apply_migrations(self, users: np.ndarray, targets: np.ndarray) -> int:
+        """Move ``users[i]`` to ``targets[i]`` simultaneously, in place.
+
+        Self-moves (target equals current resource) are ignored.  Returns
+        the number of users that actually changed resource.  Loads are
+        updated incrementally with two weighted bincounts — O(#movers + m).
+        """
+        users = np.asarray(users, dtype=np.int64)
+        targets = np.asarray(targets, dtype=np.int64)
+        if users.shape != targets.shape:
+            raise ValueError("users and targets must have matching shapes")
+        if users.size == 0:
+            return 0
+        if np.unique(users).size != users.size:
+            raise ValueError("a user may migrate at most once per application")
+        moving = self.assignment[users] != targets
+        users = users[moving]
+        targets = targets[moving]
+        if users.size == 0:
+            return 0
+        w = self.instance.weights[users]
+        m = self.instance.n_resources
+        self.loads -= np.bincount(self.assignment[users], weights=w, minlength=m)
+        self.loads += np.bincount(targets, weights=w, minlength=m)
+        self.assignment[users] = targets
+        return int(users.size)
+
+    def move_user(self, user: int, target: int) -> bool:
+        """Move a single user (sequential protocols). Returns True if moved."""
+        if not (0 <= target < self.instance.n_resources):
+            raise ValueError("target out of range")
+        source = int(self.assignment[user])
+        if source == target:
+            return False
+        w = float(self.instance.weights[user])
+        self.loads[source] -= w
+        self.loads[target] += w
+        self.assignment[user] = target
+        return True
+
+    # -- integrity ----------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Verify loads match the assignment exactly; raise on corruption.
+
+        Cheap enough to call in tests and at trace checkpoints, not called
+        in the hot loop.
+        """
+        expected = np.bincount(
+            self.assignment,
+            weights=self.instance.weights,
+            minlength=self.instance.n_resources,
+        )
+        if not np.allclose(self.loads, expected, rtol=0, atol=1e-9):
+            raise AssertionError("state corruption: loads do not match assignment")
+        if self.instance.access is not None:
+            ok = self.instance.access.contains(
+                np.arange(self.instance.n_users), self.assignment
+            )
+            if not np.all(ok):
+                raise AssertionError("state corruption: inaccessible assignment")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, State):
+            return NotImplemented
+        return self.instance is other.instance and np.array_equal(
+            self.assignment, other.assignment
+        )
+
+    def __hash__(self):  # states are mutable
+        raise TypeError("State is mutable and unhashable; hash assignment.tobytes()")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"State(n={self.instance.n_users}, m={self.instance.n_resources}, "
+            f"satisfied={self.n_satisfied}/{self.instance.n_users})"
+        )

@@ -1,0 +1,156 @@
+"""Weighted-user feasibility: constructive heuristics with guarantees.
+
+The exact feasibility theory (:mod:`repro.core.feasibility`) covers unit
+weights; with arbitrary weights the problem contains bin packing and is
+NP-hard already for a single shared threshold.  This module provides the
+practical layer:
+
+- :func:`first_fit_decreasing` — the classical FFD construction adapted to
+  QoS: users sorted by threshold ascending (most demanding first), within
+  a threshold by weight descending, each placed on the accessible resource
+  that keeps it (and the resource's satisfied residents) satisfied with
+  the least leftover headroom (best-fit flavour).  Returns a satisfying
+  state or ``None``.
+- :func:`weighted_capacity_bound` — the volume upper bound: a satisfying
+  assignment requires, for every threshold level ``t``, that the total
+  weight of users with ``q_u <= t`` fit into the capacity available at
+  latency ``t``: ``sum_r cap_r(t) >= sum_{q_u <= t} w_u`` where ``cap``
+  is the *continuous* load inverse.  A violated bound proves infeasibility.
+- :func:`weighted_feasibility` — combines the two into a three-valued
+  verdict: ``"feasible"`` (witness found), ``"infeasible"`` (volume bound
+  violated), ``"unknown"`` (heuristic failed, bound satisfied — NP-hard
+  territory).
+
+For uniform weights the construction coincides with the exact greedy up to
+tie-breaking, and the tests cross-check it against the exact theory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .instance import Instance
+from .state import State
+
+__all__ = [
+    "first_fit_decreasing",
+    "weighted_capacity_bound",
+    "weighted_feasibility",
+    "WeightedVerdict",
+]
+
+
+def _continuous_capacity(instance: Instance, r: int, q: float, hi: float) -> float:
+    """Largest continuous load ``x <= hi`` with ``ell_r(x) <= q``."""
+    f = instance.latencies[r]
+    if float(f(0.0)) > q:
+        return 0.0
+    if float(f(hi)) <= q:
+        return hi
+    lo, cur_hi = 0.0, hi
+    for _ in range(60):
+        mid = 0.5 * (lo + cur_hi)
+        if float(f(mid)) <= q:
+            lo = mid
+        else:
+            cur_hi = mid
+    return lo
+
+
+def first_fit_decreasing(instance: Instance) -> State | None:
+    """Best-fit-decreasing construction of a satisfying state.
+
+    Placement order: thresholds ascending (demanding users while the
+    system is empty), weight descending within a threshold (big items
+    first, the bin-packing rule).  A resource is eligible for user ``u``
+    iff after ``u``'s arrival its latency is within both ``q_u`` and the
+    smallest threshold among users already placed there (so the
+    construction never breaks its own placements).  Among eligible
+    resources the *fullest* one is chosen (best fit), concentrating
+    tolerant users and preserving empty resources for demanding ones.
+
+    Returns a satisfying :class:`State` or ``None`` (heuristic failure —
+    not a proof of infeasibility).
+    """
+    n, m = instance.n_users, instance.n_resources
+    order = np.lexsort((-instance.weights, instance.thresholds))
+    assignment = np.full(n, -1, dtype=np.int64)
+    loads = np.zeros(m, dtype=np.float64)
+    group_min = np.full(m, np.inf)
+
+    for u in order:
+        u = int(u)
+        w = float(instance.weights[u])
+        q = float(instance.thresholds[u])
+        allowed = instance.accessible(u)
+        lat_after = instance.latencies.evaluate_at(allowed, loads[allowed] + w)
+        bound = np.minimum(q, group_min[allowed])
+        ok = lat_after <= bound
+        if not np.any(ok):
+            return None
+        candidates = allowed[ok]
+        # best fit: maximise current load among eligible resources.
+        r = int(candidates[int(np.argmax(loads[candidates]))])
+        assignment[u] = r
+        loads[r] += w
+        group_min[r] = min(group_min[r], q)
+
+    state = State(instance, assignment)
+    assert state.is_satisfying(), "FFD produced a non-satisfying state"
+    return state
+
+
+def weighted_capacity_bound(instance: Instance) -> bool:
+    """Volume necessary condition for weighted feasibility.
+
+    For every distinct threshold ``t`` (checked at each user threshold):
+    users with ``q_u <= t`` must live on resources whose latency at their
+    combined weight stays within ``t`` — in aggregate their total weight
+    cannot exceed the profile's total continuous capacity at level ``t``.
+    Returns ``False`` (certainly infeasible) if any level is violated.
+    """
+    total_w = float(instance.weights.sum())
+    thresholds = np.unique(instance.thresholds)
+    order = np.argsort(instance.thresholds, kind="stable")
+    sorted_q = instance.thresholds[order]
+    sorted_w = instance.weights[order]
+    cum_w = np.cumsum(sorted_w)
+    for t in thresholds:
+        # weight of users with q_u <= t
+        idx = int(np.searchsorted(sorted_q, t, side="right")) - 1
+        demand = float(cum_w[idx])
+        capacity = sum(
+            _continuous_capacity(instance, r, float(t), total_w)
+            for r in range(instance.n_resources)
+        )
+        if demand > capacity + 1e-9:
+            return False
+    return True
+
+
+@dataclass(frozen=True)
+class WeightedVerdict:
+    """Three-valued weighted feasibility verdict."""
+
+    verdict: str  # "feasible" | "infeasible" | "unknown"
+    state: State | None = None
+
+    @property
+    def is_feasible(self) -> bool | None:
+        if self.verdict == "feasible":
+            return True
+        if self.verdict == "infeasible":
+            return False
+        return None
+
+
+def weighted_feasibility(instance: Instance) -> WeightedVerdict:
+    """FFD witness / volume-bound refutation / honest "unknown"."""
+    state = first_fit_decreasing(instance)
+    if state is not None:
+        return WeightedVerdict("feasible", state)
+    if not weighted_capacity_bound(instance):
+        return WeightedVerdict("infeasible", None)
+    return WeightedVerdict("unknown", None)

@@ -1,0 +1,118 @@
+"""Shared machinery for the experiment suite.
+
+Every experiment (F1–F9, T1–T4; see ``EXPERIMENTS.md``) is a function
+returning an :class:`ExperimentResult` — headers + rows (the reproduced
+figure series or table) plus free-form findings.  Benchmarks call these
+functions at CI scale and print the table; the CLI runs them at full scale
+and writes traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+import numpy as np
+
+from ..analysis.stats import summarize
+from ..analysis.tables import render_table
+from ..sim.engine import RunResult
+from ..sim.parallel import RunSpec, replicate
+
+__all__ = [
+    "ExperimentResult",
+    "cell",
+    "convergence_stats",
+]
+
+
+@dataclass
+class ExperimentResult:
+    """One reproduced table/figure."""
+
+    experiment_id: str
+    title: str
+    headers: list[str]
+    rows: list[list[Any]]
+    findings: list[str] = field(default_factory=list)
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    def render(self) -> str:
+        text = render_table(self.headers, self.rows, title=f"{self.experiment_id}: {self.title}")
+        if self.findings:
+            text += "\n" + "\n".join(f"  * {f}" for f in self.findings)
+        return text
+
+
+def cell(
+    *,
+    generator: str,
+    generator_kwargs: dict | None = None,
+    protocol: str = "qos-sampling",
+    protocol_kwargs: dict | None = None,
+    schedule: str = "synchronous",
+    schedule_kwargs: dict | None = None,
+    max_rounds: int = 100_000,
+    initial: str = "pile",
+    n_reps: int = 10,
+    base_seed: int = 0,
+    workers: int | None = 0,
+    label: str = "",
+) -> list[RunResult]:
+    """Run one experiment cell (a spec replicated ``n_reps`` times).
+
+    ``initial`` defaults to the adversarial pile start: convergence *time*
+    is only interesting from far away (random initial states of slack
+    instances are often already nearly satisfying).
+    """
+    spec = RunSpec(
+        generator=generator,
+        generator_kwargs=generator_kwargs or {},
+        protocol=protocol,
+        protocol_kwargs=protocol_kwargs or {},
+        schedule=schedule,
+        schedule_kwargs=schedule_kwargs or {},
+        max_rounds=max_rounds,
+        initial=initial,
+        label=label,
+    )
+    return replicate(spec, n_reps, base_seed=base_seed, workers=workers)
+
+
+def convergence_stats(results: Sequence[RunResult]) -> dict[str, Any]:
+    """Aggregate one cell: convergence fraction and time/cost summaries.
+
+    Round statistics are computed over *satisfying* runs only (the
+    convergence time of a run that never satisfied is undefined); the
+    ``satisfying_fraction`` column reports how many that is.  Cost columns
+    (moves, messages) aggregate over all runs.
+    """
+    statuses = [r.status for r in results]
+    n = len(results)
+    sat_rounds = np.asarray(
+        [r.rounds for r in results if r.status == "satisfying"], dtype=np.float64
+    )
+    out: dict[str, Any] = {
+        "n_reps": n,
+        "satisfying_fraction": statuses.count("satisfying") / n,
+        "quiescent_fraction": statuses.count("quiescent") / n,
+        "budget_fraction": statuses.count("max_rounds") / n,
+        "satisfied_fraction_mean": float(
+            np.mean([r.satisfied_fraction for r in results])
+        ),
+        "moves_mean": float(np.mean([r.total_moves for r in results])),
+        "messages_mean": float(np.mean([r.total_messages for r in results])),
+    }
+    if sat_rounds.size:
+        s = summarize(sat_rounds)
+        out.update(
+            rounds_median=s.median,
+            rounds_ci_low=s.ci_low,
+            rounds_ci_high=s.ci_high,
+            rounds_mean=s.mean,
+        )
+    else:
+        out.update(
+            rounds_median=None, rounds_ci_low=None, rounds_ci_high=None, rounds_mean=None
+        )
+    return out

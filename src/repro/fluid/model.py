@@ -1,0 +1,163 @@
+"""Mean-field (fluid-limit) model of the QoS sampling dynamics.
+
+For large ``n`` the stochastic round dynamics concentrate around a
+deterministic evolution of *mass fractions* — the classical mean-field /
+fluid limit used throughout this literature (Wardrop-style models are the
+equilibrium face of the same idea).  This module implements that limit for
+identical machines and finitely many user classes, and experiment F11
+validates it: the discrete simulation's unsatisfied-fraction trajectory
+converges to the fluid prediction as ``n`` grows.
+
+Model
+-----
+
+Users come in classes ``c = 1..k`` with thresholds ``q_c`` and mass
+fractions summing to 1; ``x[r, c]`` is the mass of class ``c`` on resource
+``r`` (total mass 1, i.e. loads are per-user fractions; the discrete
+system at size ``n`` has loads ``n * x``).  Identical machines with
+latency ``ell(load) = load`` are assumed, with thresholds expressed in
+*load fraction* units (``theta_c = q_c / n`` in discrete terms).
+
+One synchronous round of the sampling protocol with commitment
+probability ``p`` maps to the deterministic update:
+
+- mass of class ``c`` on resource ``r`` is **unsatisfied** iff
+  ``load(r) > theta_c`` where ``load(r) = sum_c x[r, c]``;
+- every unsatisfied unit samples a uniform target and commits with
+  probability ``p`` if the target **accepts its class** (fluid version of
+  the conservative check): ``load(s) < theta_c``;
+- flows move simultaneously:
+  ``out[r, c] = x[r, c] * 1{unsat} * p * A_c / m`` and each accepting
+  target gains ``p * U_c / m`` of class ``c``, where ``A_c`` counts
+  accepting resources and ``U_c`` the unsatisfied mass of class ``c``.
+
+The map is exactly the expectation of the discrete round conditioned on
+the current state, up to the ``O(1/n)`` difference between ``load + 1/n``
+and ``load`` in the acceptance check (we keep the strict inequality,
+matching the discrete check as ``n -> inf``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["FluidSystem", "FluidTrajectory", "run_fluid"]
+
+
+@dataclass(frozen=True)
+class FluidSystem:
+    """Identical-machine fluid system with ``k`` user classes.
+
+    ``thetas[c]`` is class ``c``'s threshold in load-fraction units (the
+    discrete instance with ``n`` users has ``q_c = thetas[c] * n``);
+    ``masses[c]`` its share of the population.
+    """
+
+    m: int
+    thetas: np.ndarray
+    masses: np.ndarray
+    p: float = 0.5
+
+    def __post_init__(self):
+        thetas = np.asarray(self.thetas, dtype=np.float64)
+        masses = np.asarray(self.masses, dtype=np.float64)
+        if thetas.ndim != 1 or thetas.size == 0 or thetas.shape != masses.shape:
+            raise ValueError("thetas and masses must be matching non-empty 1-D arrays")
+        if np.any(thetas <= 0):
+            raise ValueError("thresholds must be positive")
+        if np.any(masses < 0) or not np.isclose(masses.sum(), 1.0):
+            raise ValueError("masses must be non-negative and sum to 1")
+        if not (0.0 < self.p <= 1.0):
+            raise ValueError("p must be in (0, 1]")
+        if self.m < 1:
+            raise ValueError("m must be >= 1")
+        object.__setattr__(self, "thetas", thetas)
+        object.__setattr__(self, "masses", masses)
+
+    @property
+    def k(self) -> int:
+        return int(self.thetas.size)
+
+    def pile_state(self) -> np.ndarray:
+        """All mass on resource 0 — the fluid pile start."""
+        x = np.zeros((self.m, self.k))
+        x[0, :] = self.masses
+        return x
+
+    def uniform_state(self) -> np.ndarray:
+        """Mass spread evenly — the fluid analogue of the random start."""
+        return np.tile(self.masses / self.m, (self.m, 1))
+
+    # -- dynamics ---------------------------------------------------------------
+
+    def unsatisfied_mass(self, x: np.ndarray) -> np.ndarray:
+        """Per-class unsatisfied mass ``U_c``."""
+        loads = x.sum(axis=1)
+        unsat = loads[:, None] > self.thetas[None, :] + 1e-15
+        return (x * unsat).sum(axis=0)
+
+    def step(self, x: np.ndarray) -> np.ndarray:
+        """One synchronous round of the mean-field map."""
+        loads = x.sum(axis=1)
+        unsat = loads[:, None] > self.thetas[None, :] + 1e-15  # (m, k)
+        accepting = loads[:, None] < self.thetas[None, :] - 1e-15  # (m, k)
+        a_frac = accepting.mean(axis=0)  # A_c / m
+        u_mass = (x * unsat).sum(axis=0)  # U_c
+
+        out = x * unsat * (self.p * a_frac[None, :])
+        inflow = accepting * (self.p * u_mass[None, :] / self.m)
+        return x - out + inflow
+
+    def total_unsatisfied(self, x: np.ndarray) -> float:
+        return float(self.unsatisfied_mass(x).sum())
+
+
+@dataclass
+class FluidTrajectory:
+    """Deterministic trajectory of the fluid system."""
+
+    unsatisfied: np.ndarray  # per-round total unsatisfied mass
+    final_state: np.ndarray
+
+    @property
+    def rounds(self) -> int:
+        return int(self.unsatisfied.size)
+
+    def first_below(self, eps: float) -> int | None:
+        hits = np.nonzero(self.unsatisfied <= eps)[0]
+        return int(hits[0]) if hits.size else None
+
+
+def run_fluid(
+    system: FluidSystem,
+    *,
+    initial: np.ndarray | str = "pile",
+    max_rounds: int = 10_000,
+    eps: float = 1e-9,
+) -> FluidTrajectory:
+    """Iterate the mean-field map until the unsatisfied mass falls below
+    ``eps`` (fluid convergence) or the round budget runs out.
+
+    Note the fluid system converges only *asymptotically* (the unsatisfied
+    mass decays geometrically once capacity is free), hence the epsilon.
+    """
+    if isinstance(initial, str):
+        x = system.pile_state() if initial == "pile" else system.uniform_state()
+    else:
+        x = np.asarray(initial, dtype=np.float64).copy()
+        if x.shape != (system.m, system.k):
+            raise ValueError(f"state must have shape ({system.m}, {system.k})")
+        if not np.isclose(x.sum(), 1.0):
+            raise ValueError("state mass must sum to 1")
+    series = []
+    for _ in range(max_rounds):
+        u = system.total_unsatisfied(x)
+        series.append(u)
+        if u <= eps:
+            break
+        x = system.step(x)
+    return FluidTrajectory(
+        unsatisfied=np.asarray(series, dtype=np.float64), final_state=x
+    )

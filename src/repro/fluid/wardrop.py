@@ -1,0 +1,129 @@
+"""Wardrop equilibria of the continuous latency game.
+
+In the fluid limit of *QoS-oblivious* balancing, mass spreads until every
+used resource has a common latency no larger than any unused resource's
+empty latency — a Wardrop equilibrium.  This module computes it for
+arbitrary non-decreasing latency profiles by bisection on the common
+latency level, and evaluates how much mass a Wardrop flow satisfies under
+QoS thresholds — the fluid face of experiment T4's "balancing is the wrong
+objective under scarcity".
+
+Latency functions are evaluated on *continuous* loads here (every family
+in :mod:`repro.core.latency` is defined for real ``x``), with the
+convention that ``+inf`` regions are unusable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.latency import LatencyProfile
+
+__all__ = ["WardropFlow", "wardrop_equilibrium", "satisfied_mass_at"]
+
+
+@dataclass(frozen=True)
+class WardropFlow:
+    """A continuous flow at common latency ``level``."""
+
+    loads: np.ndarray
+    level: float
+
+    @property
+    def total(self) -> float:
+        return float(self.loads.sum())
+
+
+def _inverse_load(profile: LatencyProfile, r: int, level: float, hi: float) -> float:
+    """Largest continuous load ``x`` in [0, hi] with ``ell_r(x) <= level``."""
+    f = profile[r]
+    if float(f(0.0)) > level:
+        return 0.0
+    if float(f(hi)) <= level:
+        return hi
+    lo_x, hi_x = 0.0, hi
+    for _ in range(80):  # ~1e-24 relative precision, overkill but cheap
+        mid = 0.5 * (lo_x + hi_x)
+        if float(f(mid)) <= level:
+            lo_x = mid
+        else:
+            hi_x = mid
+    return lo_x
+
+
+def wardrop_equilibrium(
+    profile: LatencyProfile, mass: float, *, tol: float = 1e-10
+) -> WardropFlow:
+    """The Wardrop equilibrium flow of total ``mass`` over the profile.
+
+    Characterisation: there is a level ``L`` such that every resource
+    carries ``x_r = sup{x : ell_r(x) <= L}`` (zero where even the empty
+    latency exceeds ``L``) and the loads sum to ``mass``.  The total load
+    at level ``L`` is non-decreasing in ``L``, so bisection applies.
+
+    Raises ``ValueError`` if the profile cannot absorb the mass at any
+    finite latency (e.g. all-M/M/1 with ``mass > sum(mu)``).
+    """
+    if mass < 0:
+        raise ValueError("mass must be non-negative")
+    m = len(profile)
+    if mass == 0:
+        return WardropFlow(loads=np.zeros(m), level=float(min(float(profile[r](0.0)) for r in range(m))))
+
+    def total_at(level: float) -> float:
+        return sum(_inverse_load(profile, r, level, mass) for r in range(m))
+
+    lo = min(float(profile[r](0.0)) for r in range(m))
+    hi = max(lo, 1.0)
+    for _ in range(200):
+        if total_at(hi) >= mass:
+            break
+        hi *= 2.0
+    else:
+        raise ValueError("profile cannot absorb the requested mass at finite latency")
+
+    for _ in range(200):
+        mid = 0.5 * (lo + hi)
+        if total_at(mid) >= mass:
+            hi = mid
+        else:
+            lo = mid
+        if hi - lo <= tol * max(1.0, hi):
+            break
+    level = hi
+    loads = np.asarray(
+        [_inverse_load(profile, r, level, mass) for r in range(m)], dtype=np.float64
+    )
+    # Normalise rounding: scale to the exact mass (loads > 0 only).
+    total = loads.sum()
+    if total > 0:
+        loads = loads * (mass / total)
+    return WardropFlow(loads=loads, level=level)
+
+
+def satisfied_mass_at(
+    flow: WardropFlow, profile: LatencyProfile, thresholds: np.ndarray, masses: np.ndarray
+) -> float:
+    """Mass fraction satisfied if classes spread proportionally to the flow.
+
+    Class ``c`` (mass share ``masses[c]``, threshold ``thresholds[c]``) is
+    satisfied on resource ``r`` iff ``ell_r(x_r) <= thresholds[c]``.  Under
+    proportional spreading every resource hosts every class in proportion
+    to its load, so the satisfied fraction of class ``c`` is the load share
+    of resources whose latency meets ``thresholds[c]``.
+    """
+    thresholds = np.asarray(thresholds, dtype=np.float64)
+    masses = np.asarray(masses, dtype=np.float64)
+    if thresholds.shape != masses.shape:
+        raise ValueError("thresholds and masses must match")
+    lat = profile.evaluate(flow.loads)
+    total = flow.loads.sum()
+    if total == 0:
+        return float(masses.sum())
+    out = 0.0
+    for q, share in zip(thresholds, masses):
+        ok = lat <= q + 1e-12
+        out += share * float(flow.loads[ok].sum() / total)
+    return out

@@ -1,0 +1,25 @@
+"""Game-theoretic substrate: congestion-game view and the satisfaction game."""
+
+from .congestion import (
+    is_latency_nash,
+    latency_improving_move,
+    nash_by_best_response,
+    rosenthal_gap,
+)
+from .satisfaction import (
+    empirical_stable_satisfaction,
+    enumerate_stable_states,
+    satisfaction_price_of_anarchy,
+    worst_stable_satisfaction,
+)
+
+__all__ = [
+    "is_latency_nash",
+    "latency_improving_move",
+    "nash_by_best_response",
+    "rosenthal_gap",
+    "enumerate_stable_states",
+    "worst_stable_satisfaction",
+    "satisfaction_price_of_anarchy",
+    "empirical_stable_satisfaction",
+]

@@ -1,0 +1,96 @@
+"""Singleton congestion-game view of an instance.
+
+QoS load balancing lives inside a classical singleton congestion game:
+users choose one resource, latencies depend on congestion.  This module
+provides the latency-utility (QoS-oblivious) side of that game, which the
+library uses in three places: the selfish-rebalance baseline's solution
+concept, the T4 comparison ("balancing converges, but to the wrong
+states"), and as a well-understood substrate to test the engine against
+(Rosenthal's theorem gives hard guarantees to assert).
+
+For unit weights, Rosenthal's potential ``sum_r sum_{k<=x_r} ell_r(k)`` is
+an *exact* potential: any unilateral move changes it by exactly the mover's
+latency change.  Hence latency best-response dynamics terminate in a pure
+Nash equilibrium — :func:`nash_by_best_response` relies on this and the
+tests assert both termination and equilibrium.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.instance import Instance
+from ..core.potential import rosenthal_potential
+from ..core.state import State
+from ..sim.rng import make_rng
+
+__all__ = [
+    "is_latency_nash",
+    "latency_improving_move",
+    "nash_by_best_response",
+    "rosenthal_gap",
+]
+
+
+def latency_improving_move(
+    state: State, *, tol: float = 1e-12
+) -> tuple[int, int] | None:
+    """Some ``(user, resource)`` strictly reducing the user's latency, or None.
+
+    Scans users in index order and returns the user's *best* improving
+    target; deterministic given the state.
+    """
+    inst = state.instance
+    current = state.user_latencies()
+    for u in range(inst.n_users):
+        allowed = inst.accessible(u)
+        allowed = allowed[allowed != state.assignment[u]]
+        if allowed.size == 0:
+            continue
+        w = float(inst.weights[u])
+        lat = inst.latencies.evaluate_at(allowed, state.loads[allowed] + w)
+        best = int(np.argmin(lat))
+        if lat[best] < current[u] - tol:
+            return u, int(allowed[best])
+    return None
+
+
+def is_latency_nash(state: State, *, tol: float = 1e-12) -> bool:
+    """No user can strictly reduce its latency by moving alone."""
+    return latency_improving_move(state, tol=tol) is None
+
+
+def nash_by_best_response(
+    instance: Instance,
+    *,
+    seed: int | np.random.Generator = 0,
+    initial: State | None = None,
+    max_steps: int | None = None,
+) -> State:
+    """Pure Nash equilibrium of the latency game by best-response descent.
+
+    Guaranteed to terminate for unit weights (Rosenthal); for weighted
+    users the singleton structure still guarantees convergence of *best*
+    (not better) response on identical machines, but in general we guard
+    with ``max_steps`` (default ``50 * n * m``) and raise if exceeded.
+    """
+    rng = make_rng(seed)
+    state = (
+        initial.copy() if initial is not None else State.uniform_random(instance, rng)
+    )
+    budget = max_steps if max_steps is not None else 50 * instance.n_users * instance.n_resources
+    for _ in range(budget):
+        move = latency_improving_move(state)
+        if move is None:
+            return state
+        state.move_user(*move)
+    raise RuntimeError("best-response dynamics did not terminate within budget")
+
+
+def rosenthal_gap(state: State) -> float:
+    """Potential distance to the best-response equilibrium reachable from
+    ``state`` along the scan order (diagnostic; 0 at equilibria).
+    """
+    here = rosenthal_potential(state)
+    eq = nash_by_best_response(state.instance, initial=state)
+    return float(here - rosenthal_potential(eq))

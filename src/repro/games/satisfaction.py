@@ -1,0 +1,109 @@
+"""The satisfaction game: equilibrium structure and its price of anarchy.
+
+Utilities are indicators (satisfied or not), so pure Nash equilibria are
+exactly the *stable* states of :mod:`repro.core.stability`.  Two questions
+the theory cares about:
+
+- **How bad can stable states be?**  The satisfaction price of anarchy
+  ``PoA_sat = OPT_sat / min{#satisfied(S) : S stable}``.  We compute it
+  exactly by enumeration on small instances (test oracle and T2 context)
+  and estimate it empirically on large ones by harvesting the stable
+  states the protocols actually reach.
+- **Which instances have PoA_sat = 1?**  Generous instances
+  (:func:`repro.core.stability.is_generous`) do — every stable state is
+  satisfying — and the tests verify the enumeration agrees.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Iterator
+
+import numpy as np
+
+from ..core.feasibility import max_satisfied
+from ..core.instance import Instance
+from ..core.protocols.base import Protocol
+from ..core.stability import is_stable
+from ..core.state import State
+from ..sim.engine import run
+
+__all__ = [
+    "enumerate_stable_states",
+    "worst_stable_satisfaction",
+    "satisfaction_price_of_anarchy",
+    "empirical_stable_satisfaction",
+]
+
+
+def enumerate_stable_states(
+    instance: Instance, *, polite: bool = False, limit: int = 2_000_000
+) -> Iterator[State]:
+    """All stable states of a tiny instance, by exhaustive search."""
+    n, m = instance.n_users, instance.n_resources
+    if m**n > limit:
+        raise ValueError(f"search space m**n = {m**n} exceeds limit {limit}")
+    for candidate in product(range(m), repeat=n):
+        state = State(instance, np.asarray(candidate, dtype=np.int64))
+        if is_stable(state, polite=polite):
+            yield state
+
+
+def worst_stable_satisfaction(
+    instance: Instance, *, polite: bool = False, limit: int = 2_000_000
+) -> tuple[int, State]:
+    """The stable state with the fewest satisfied users (exact, tiny only)."""
+    worst: State | None = None
+    worst_count = instance.n_users + 1
+    for state in enumerate_stable_states(instance, polite=polite, limit=limit):
+        s = state.n_satisfied
+        if s < worst_count:
+            worst_count, worst = s, state.copy()
+    if worst is None:
+        raise RuntimeError(
+            "no stable state found — impossible: satisfying/absorbing states "
+            "are stable, and piling everyone on one resource is stable when "
+            "nothing helps"
+        )
+    return worst_count, worst
+
+
+def satisfaction_price_of_anarchy(
+    instance: Instance, *, limit: int = 2_000_000
+) -> float:
+    """``OPT_sat / worst stable #satisfied`` (``inf`` if some stable state
+    satisfies nobody while OPT satisfies someone)."""
+    opt = max_satisfied(instance).n_satisfied
+    worst, _ = worst_stable_satisfaction(instance, limit=limit)
+    if worst == 0:
+        return float("inf") if opt > 0 else 1.0
+    return opt / worst
+
+
+def empirical_stable_satisfaction(
+    instance: Instance,
+    protocol: Protocol,
+    *,
+    n_runs: int = 20,
+    max_rounds: int = 20_000,
+    initial: str = "random",
+    seed: int = 0,
+) -> np.ndarray:
+    """Satisfied counts of the terminal states a protocol actually reaches.
+
+    The empirical counterpart of :func:`worst_stable_satisfaction` for
+    instances too large to enumerate; includes non-converged runs'
+    terminal counts (status is not filtered — caller can rerun with a
+    bigger budget if ``max_rounds`` terminations occur).
+    """
+    counts = []
+    for i in range(n_runs):
+        result = run(
+            instance,
+            protocol,
+            seed=seed * 1_000_003 + i,
+            max_rounds=max_rounds,
+            initial=initial,
+        )
+        counts.append(result.n_satisfied)
+    return np.asarray(counts, dtype=np.int64)

@@ -1,0 +1,52 @@
+"""Message-passing simulator: the protocol as real distributed agents.
+
+The round-based engine (:mod:`repro.sim`) is a fast global-view simulation.
+This package is the ground truth it is validated against: user and resource
+agents that communicate *only* through messages over delayed channels,
+with no shared memory (experiment T3 cross-validates the two).
+"""
+
+from .admission import (
+    AdmissionResourceAgent,
+    AdmissionUserAgent,
+    AdmitJoin,
+    AdmitLeave,
+    AdmitReply,
+    AdmitRequest,
+)
+from .agents import ResourceAgent, UserAgent, resource_id, user_id
+from .messages import Join, Leave, LoadQuery, LoadReply, Message, Tick
+from .network import (
+    Agent,
+    ConstantDelay,
+    DelayModel,
+    ExponentialDelay,
+    Network,
+)
+from .runner import MessageSimResult, run_message_sim
+
+__all__ = [
+    "Message",
+    "Tick",
+    "LoadQuery",
+    "LoadReply",
+    "Join",
+    "Leave",
+    "Agent",
+    "Network",
+    "DelayModel",
+    "ConstantDelay",
+    "ExponentialDelay",
+    "ResourceAgent",
+    "UserAgent",
+    "user_id",
+    "resource_id",
+    "MessageSimResult",
+    "run_message_sim",
+    "AdmissionResourceAgent",
+    "AdmissionUserAgent",
+    "AdmitRequest",
+    "AdmitReply",
+    "AdmitJoin",
+    "AdmitLeave",
+]

@@ -1,0 +1,253 @@
+"""Asynchronous admission control: the permit protocol without rounds.
+
+The round-based :class:`~repro.core.protocols.permit.PermitProtocol`
+batches probes per round and sizes grants against the batch.  Under real
+asynchrony there are no rounds to batch in, so the natural realization is
+**reservation-based admission control**:
+
+- a user sends an :class:`AdmitRequest` (carrying its threshold and
+  weight) to one sampled resource;
+- the resource decides *immediately* against its committed state — current
+  load **plus outstanding reservations** — and replies admit/deny;
+  admission reserves the user's weight, so two in-flight admissions can
+  never jointly overshoot;
+- an admitted user leaves its old resource and joins the new one; the join
+  converts the reservation into load.
+
+The admission rule mirrors the permit protocol's politeness: the
+post-commit latency must respect both the requester's threshold and the
+smallest threshold among the resource's (tracked) residents, so satisfied
+users are never broken by arrivals — the monotonicity lemma survives
+asynchrony, which the test suite checks on snapshots.
+
+Resources track their residents' thresholds in a local multiset (they
+learn them from ``Join`` messages) — still strictly local information.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.latency import LatencyFunction
+from .messages import Message, Tick
+from .network import Network
+
+__all__ = [
+    "AdmitRequest",
+    "AdmitReply",
+    "AdmitJoin",
+    "AdmitLeave",
+    "AdmissionResourceAgent",
+    "AdmissionUserAgent",
+]
+
+
+@dataclass(frozen=True)
+class AdmitRequest(Message):
+    """User -> resource: may I come?  Carries threshold and weight."""
+
+    threshold: float
+    weight: float
+
+
+@dataclass(frozen=True)
+class AdmitReply(Message):
+    """Resource -> user: verdict (reservation taken when admitted)."""
+
+    resource: int
+    admitted: bool
+
+
+@dataclass(frozen=True)
+class AdmitJoin(Message):
+    """User -> resource: becoming a resident.
+
+    ``reserved`` distinguishes admission-backed joins (which convert a
+    standing reservation into load) from the initial placement at startup
+    (no reservation exists yet; the initial state may well be overloaded —
+    that is what the protocol is for).
+    """
+
+    threshold: float
+    weight: float
+    reserved: bool = True
+
+
+@dataclass(frozen=True)
+class AdmitLeave(Message):
+    """User -> resource: departing."""
+
+    threshold: float
+    weight: float
+
+
+class AdmissionResourceAgent:
+    """Tracks load, outstanding reservations, and resident thresholds."""
+
+    def __init__(self, index: int, latency: LatencyFunction):
+        self.index = int(index)
+        self.agent_id = f"res:{index}"
+        self.latency = latency
+        self.load = 0.0
+        self.reserved = 0.0
+        self.resident_thresholds: Counter[float] = Counter()
+
+    def _resident_min(self) -> float:
+        return min(self.resident_thresholds) if self.resident_thresholds else np.inf
+
+    def handle(self, msg: Message, network: Network) -> None:
+        if isinstance(msg, AdmitRequest):
+            committed = self.load + self.reserved + msg.weight
+            # A zero-weight request is a pure satisfaction check: it cannot
+            # dissatisfy residents, so only the requester's own threshold
+            # applies.  Real arrivals must also respect the residents.
+            bound = (
+                msg.threshold
+                if msg.weight == 0.0
+                else min(msg.threshold, self._resident_min())
+            )
+            ok = float(self.latency(committed)) <= bound
+            if ok and msg.weight > 0.0:
+                self.reserved += msg.weight
+            network.send(
+                msg.sender,
+                AdmitReply(sender=self.agent_id, resource=self.index, admitted=ok),
+            )
+        elif isinstance(msg, AdmitJoin):
+            if msg.reserved:
+                self.reserved -= msg.weight
+                if self.reserved < -1e-9:
+                    raise AssertionError(
+                        f"resource {self.index}: join without reservation"
+                    )
+                self.reserved = max(self.reserved, 0.0)
+            self.load += msg.weight
+            self.resident_thresholds[msg.threshold] += 1
+        elif isinstance(msg, AdmitLeave):
+            self.load -= msg.weight
+            if self.load < -1e-9:
+                raise AssertionError(f"resource {self.index}: negative load")
+            self.resident_thresholds[msg.threshold] -= 1
+            if self.resident_thresholds[msg.threshold] <= 0:
+                del self.resident_thresholds[msg.threshold]
+        else:
+            raise TypeError(
+                f"admission resource cannot handle {type(msg).__name__}"
+            )
+
+
+class AdmissionUserAgent:
+    """State machine: tick -> am I satisfied here? -> request admission elsewhere.
+
+    Each activation sends one zero-weight :class:`AdmitRequest` to the
+    user's *own* resource — a pure satisfaction check (reserves nothing,
+    judged against the user's threshold only).  The quote is conservative:
+    it includes reservations other users currently hold on the resource,
+    so a satisfied user may occasionally probe and move anyway; such moves
+    land on an admitting resource and therefore keep the user satisfied —
+    harmless churn, monotone satisfaction.  If the verdict is
+    "unsatisfied", the user sends one real :class:`AdmitRequest` to a
+    uniformly random other resource and migrates iff admitted.
+    """
+
+    IDLE = "idle"
+    WAIT_OWN = "wait-own"
+    WAIT_TARGET = "wait-target"
+
+    def __init__(
+        self,
+        index: int,
+        threshold: float,
+        weight: float,
+        initial_resource: int,
+        n_resources: int,
+        *,
+        tick_interval: float = 1.0,
+        tick_jitter: float = 0.1,
+        rng: np.random.Generator,
+    ):
+        self.index = int(index)
+        self.agent_id = f"user:{index}"
+        self.threshold = float(threshold)
+        self.weight = float(weight)
+        self.resource = int(initial_resource)
+        self.n_resources = int(n_resources)
+        self.tick_interval = float(tick_interval)
+        self.tick_jitter = float(tick_jitter)
+        self.rng = rng
+        self.state = self.IDLE
+        self.moves = 0
+
+    def start(self, network: Network) -> None:
+        network.send(
+            f"res:{self.resource}",
+            AdmitJoin(
+                self.agent_id,
+                threshold=self.threshold,
+                weight=self.weight,
+                reserved=False,
+            ),
+        )
+        self._schedule_tick(network)
+
+    def _schedule_tick(self, network: Network) -> None:
+        jitter = float(self.rng.uniform(-self.tick_jitter, self.tick_jitter))
+        network.schedule_timer(
+            self.agent_id, max(1e-6, self.tick_interval + jitter), Tick(self.agent_id)
+        )
+
+    def handle(self, msg: Message, network: Network) -> None:
+        if isinstance(msg, Tick):
+            self._schedule_tick(network)
+            if self.state != self.IDLE:
+                return
+            self.state = self.WAIT_OWN
+            # weight-0 request = pure latency check; reserves nothing and
+            # the resident-min bound keeps the verdict meaningful: the own
+            # resource admits "a zero-weight arrival" iff its current
+            # latency is within our threshold.
+            network.send(
+                f"res:{self.resource}",
+                AdmitRequest(self.agent_id, threshold=self.threshold, weight=0.0),
+            )
+        elif isinstance(msg, AdmitReply):
+            if self.state == self.WAIT_OWN:
+                if msg.resource != self.resource:
+                    return  # stale
+                if msg.admitted:
+                    self.state = self.IDLE  # satisfied where we are
+                    return
+                target = int(self.rng.integers(0, self.n_resources))
+                if target == self.resource:
+                    self.state = self.IDLE
+                    return
+                self.state = self.WAIT_TARGET
+                network.send(
+                    f"res:{target}",
+                    AdmitRequest(
+                        self.agent_id, threshold=self.threshold, weight=self.weight
+                    ),
+                )
+            elif self.state == self.WAIT_TARGET:
+                self.state = self.IDLE
+                if not msg.admitted or msg.resource == self.resource:
+                    return
+                network.send(
+                    f"res:{self.resource}",
+                    AdmitLeave(
+                        self.agent_id, threshold=self.threshold, weight=self.weight
+                    ),
+                )
+                self.resource = msg.resource
+                network.send(
+                    f"res:{self.resource}",
+                    AdmitJoin(
+                        self.agent_id, threshold=self.threshold, weight=self.weight
+                    ),
+                )
+                self.moves += 1
+        else:
+            raise TypeError(f"admission user cannot handle {type(msg).__name__}")

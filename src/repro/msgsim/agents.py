@@ -1,0 +1,173 @@
+"""User and resource agents implementing the sampling protocol over messages.
+
+The agents realise :class:`~repro.core.protocols.sampling.QoSSamplingProtocol`
+with *no shared state*: a resource agent knows only its own latency
+function and the join/leave traffic it has received; a user agent knows its
+own threshold, weight, current resource id, and whatever the last replies
+told it.  The round-based engine's state arrays are a global view that
+simply does not exist here — agreement between the two executions
+(experiment T3) is therefore meaningful evidence that the fast engine
+simulates the distributed protocol faithfully.
+
+User state machine (one activation per self-scheduled tick):
+
+    IDLE --tick--> query own resource (probe=False) --reply-->
+        satisfied?   -> IDLE (next tick)
+        unsatisfied? -> query one uniformly sampled resource (probe=True)
+            --reply--> quoted latency <= threshold and coin(p):
+                           Leave(old), Join(new), adopt new -> IDLE
+                       else -> IDLE
+
+Stale information is handled the way real systems do: replies quote the
+resource index, and a user acts on the quote it has even if the load has
+moved on — overshoot from simultaneous arrivals is possible, exactly as in
+the concurrent round model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.latency import LatencyFunction
+from .messages import Join, Leave, LoadQuery, LoadReply, Message, Tick
+from .network import Network
+
+__all__ = ["ResourceAgent", "UserAgent", "user_id", "resource_id"]
+
+
+def user_id(u: int) -> str:
+    return f"user:{u}"
+
+
+def resource_id(r: int) -> str:
+    return f"res:{r}"
+
+
+class ResourceAgent:
+    """Tracks its own congestion; answers load queries; applies joins/leaves."""
+
+    def __init__(self, index: int, latency: LatencyFunction, initial_load: float = 0.0):
+        self.index = int(index)
+        self.agent_id = resource_id(index)
+        self.latency = latency
+        self.load = float(initial_load)
+
+    def handle(self, msg: Message, network: Network) -> None:
+        if isinstance(msg, LoadQuery):
+            at = self.load + (msg.weight if msg.probe else 0.0)
+            network.send(
+                msg.sender,
+                LoadReply(
+                    sender=self.agent_id,
+                    resource=self.index,
+                    load=self.load,
+                    latency=float(self.latency(at)),
+                    probe=msg.probe,
+                ),
+            )
+        elif isinstance(msg, Join):
+            self.load += msg.weight
+        elif isinstance(msg, Leave):
+            self.load -= msg.weight
+            if self.load < -1e-9:
+                raise AssertionError(
+                    f"resource {self.index} got a Leave below zero load"
+                )
+        else:
+            raise TypeError(f"resource agent cannot handle {type(msg).__name__}")
+
+
+class UserAgent:
+    """One QoS user running the sampling protocol."""
+
+    IDLE = "idle"
+    WAIT_OWN = "wait-own"
+    WAIT_TARGET = "wait-target"
+
+    def __init__(
+        self,
+        index: int,
+        threshold: float,
+        weight: float,
+        initial_resource: int,
+        n_resources: int,
+        *,
+        migrate_p: float = 0.5,
+        tick_interval: float = 1.0,
+        tick_jitter: float = 0.1,
+        rng: np.random.Generator,
+    ):
+        self.index = int(index)
+        self.agent_id = user_id(index)
+        self.threshold = float(threshold)
+        self.weight = float(weight)
+        self.resource = int(initial_resource)
+        self.n_resources = int(n_resources)
+        self.migrate_p = float(migrate_p)
+        self.tick_interval = float(tick_interval)
+        self.tick_jitter = float(tick_jitter)
+        self.rng = rng
+        self.state = self.IDLE
+        self.moves = 0
+        #: Monotone per-user activation counter (diagnostics).
+        self.activations = 0
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def start(self, network: Network) -> None:
+        """Announce the initial position and schedule the first tick."""
+        network.send(resource_id(self.resource), Join(self.agent_id, self.weight))
+        self._schedule_tick(network)
+
+    def _schedule_tick(self, network: Network) -> None:
+        jitter = float(self.rng.uniform(-self.tick_jitter, self.tick_jitter))
+        delay = max(1e-6, self.tick_interval + jitter)
+        network.schedule_timer(self.agent_id, delay, Tick(self.agent_id))
+
+    # -- protocol ----------------------------------------------------------------
+
+    def handle(self, msg: Message, network: Network) -> None:
+        if isinstance(msg, Tick):
+            self._schedule_tick(network)
+            if self.state != self.IDLE:
+                # Previous activation still awaiting a reply (slow channel);
+                # skip this tick rather than pipeline activations.
+                return
+            self.activations += 1
+            self.state = self.WAIT_OWN
+            network.send(
+                resource_id(self.resource),
+                LoadQuery(self.agent_id, weight=self.weight, probe=False),
+            )
+        elif isinstance(msg, LoadReply) and not msg.probe:
+            if self.state != self.WAIT_OWN or msg.resource != self.resource:
+                return  # stale reply from before a migration
+            if msg.latency <= self.threshold:
+                self.state = self.IDLE
+                return
+            target = int(self.rng.integers(0, self.n_resources))
+            if target == self.resource:
+                self.state = self.IDLE  # wasted probe, as in the round model
+                return
+            self.state = self.WAIT_TARGET
+            network.send(
+                resource_id(target),
+                LoadQuery(self.agent_id, weight=self.weight, probe=True),
+            )
+        elif isinstance(msg, LoadReply) and msg.probe:
+            if self.state != self.WAIT_TARGET:
+                return
+            self.state = self.IDLE
+            if msg.resource == self.resource:
+                return
+            if msg.latency <= self.threshold and self.rng.random() < self.migrate_p:
+                network.send(
+                    resource_id(self.resource), Leave(self.agent_id, self.weight)
+                )
+                self.resource = msg.resource
+                network.send(
+                    resource_id(self.resource), Join(self.agent_id, self.weight)
+                )
+                self.moves += 1
+        else:
+            raise TypeError(f"user agent cannot handle {type(msg).__name__}")

@@ -1,0 +1,79 @@
+"""Message vocabulary of the distributed QoS load-balancing protocol.
+
+Everything an agent learns arrives in one of these messages; there is no
+shared memory.  The vocabulary is deliberately minimal — the point of the
+message-passing simulator is to certify that the protocol's information
+model is honest:
+
+- a user talks to its **own** resource to learn whether it is satisfied
+  (:class:`LoadQuery` / :class:`LoadReply` with ``probe=False``);
+- a user talks to **one sampled** resource per attempt to learn whether it
+  would be satisfied there (``probe=True`` — the reply quotes the latency
+  *after* a hypothetical arrival of the user's weight);
+- migration is a :class:`Leave` to the old resource plus a :class:`Join`
+  to the new one (in flight, the user is counted nowhere — transient
+  inconsistency is part of the asynchronous model).
+
+:class:`Tick` is a self-addressed timer, not communication.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Message", "Tick", "LoadQuery", "LoadReply", "Join", "Leave"]
+
+
+@dataclass(frozen=True)
+class Message:
+    """Base class: every message names its sender agent id."""
+
+    sender: str
+
+
+@dataclass(frozen=True)
+class Tick(Message):
+    """Self-scheduled activation timer of a user agent."""
+
+
+@dataclass(frozen=True)
+class LoadQuery(Message):
+    """User -> resource: report your congestion state.
+
+    ``weight`` is the asking user's weight; ``probe`` distinguishes a
+    satisfaction check on the user's own resource (latency at the current
+    load) from a migration probe (latency after a hypothetical arrival).
+    """
+
+    weight: float
+    probe: bool
+
+
+@dataclass(frozen=True)
+class LoadReply(Message):
+    """Resource -> user: current load and the quoted latency.
+
+    ``latency`` is the latency at the current load for ``probe=False``
+    queries, and the post-arrival latency ``ell(x + weight)`` for
+    ``probe=True`` queries.  ``resource`` echoes the resource index so the
+    user can act on stale replies correctly.
+    """
+
+    resource: int
+    load: float
+    latency: float
+    probe: bool
+
+
+@dataclass(frozen=True)
+class Join(Message):
+    """User -> resource: I am now one of your residents."""
+
+    weight: float
+
+
+@dataclass(frozen=True)
+class Leave(Message):
+    """User -> resource: I have departed."""
+
+    weight: float

@@ -1,0 +1,156 @@
+"""Build and run a message-passing execution of the sampling protocol.
+
+:func:`run_message_sim` instantiates one resource agent per resource and
+one user agent per user from an :class:`~repro.core.instance.Instance`,
+wires them to a :class:`~repro.msgsim.network.Network`, and runs until the
+system is globally satisfying with no migrations in flight (measured by an
+external observer — agents themselves never see global state), or a time /
+event budget expires.
+
+The observer's satisfaction check reads the *authoritative* user positions
+(``agent.resource``), not the resources' load views, and additionally
+requires ``in_flight_moves == 0`` so transient inconsistency cannot be
+mistaken for convergence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.instance import Instance
+from ..core.state import State
+from ..sim.rng import make_rng
+from .agents import ResourceAgent, UserAgent, user_id
+from .network import ConstantDelay, DelayModel, ExponentialDelay, Network
+
+__all__ = ["MessageSimResult", "run_message_sim"]
+
+
+@dataclass
+class MessageSimResult:
+    """Outcome of one asynchronous execution."""
+
+    status: str  # "satisfying" | "max_time" | "max_events"
+    time: float
+    total_messages: int
+    message_counts: dict[str, int]
+    total_moves: int
+    activations: int
+    final_state: State
+
+    @property
+    def n_satisfied(self) -> int:
+        return self.final_state.n_satisfied
+
+    @property
+    def converged(self) -> bool:
+        return self.status == "satisfying"
+
+
+def _snapshot_state(instance: Instance, users: list[UserAgent]) -> State:
+    assignment = np.asarray([u.resource for u in users], dtype=np.int64)
+    return State(instance, assignment)
+
+
+def run_message_sim(
+    instance: Instance,
+    *,
+    seed: int = 0,
+    protocol: str = "sampling",
+    migrate_p: float = 0.5,
+    delay_model: DelayModel | None = None,
+    tick_interval: float = 1.0,
+    tick_jitter: float = 0.25,
+    max_time: float = 10_000.0,
+    max_events: int = 5_000_000,
+    initial: str = "random",
+) -> MessageSimResult:
+    """One asynchronous distributed execution of a QoS protocol.
+
+    ``protocol`` is ``"sampling"`` (probe load, damped migration — the
+    paper's dynamic) or ``"admission"`` (reservation-based admission
+    control, the asynchronous permit protocol; see
+    :mod:`repro.msgsim.admission`).  ``initial`` is ``"random"`` or
+    ``"pile"``, mirroring the engine.  The instance must have complete
+    accessibility (both message protocols sample resources uniformly).
+    """
+    if instance.access is not None and not instance.access.is_complete():
+        raise NotImplementedError("message simulator requires complete accessibility")
+    if protocol not in ("sampling", "admission"):
+        raise ValueError("protocol must be 'sampling' or 'admission'")
+    root = make_rng(seed)
+    net = Network(
+        delay_model=delay_model or ExponentialDelay(mean=tick_interval / 20.0),
+        seed=root.integers(2**63),
+    )
+
+    if initial == "random":
+        positions = root.integers(0, instance.n_resources, size=instance.n_users)
+    elif initial == "pile":
+        positions = np.zeros(instance.n_users, dtype=np.int64)
+    else:
+        raise ValueError("initial must be 'random' or 'pile'")
+
+    if protocol == "sampling":
+        resources = [
+            ResourceAgent(r, instance.latencies[r])
+            for r in range(instance.n_resources)
+        ]
+        user_factory = lambda u: UserAgent(  # noqa: E731
+            u,
+            threshold=float(instance.thresholds[u]),
+            weight=float(instance.weights[u]),
+            initial_resource=int(positions[u]),
+            n_resources=instance.n_resources,
+            migrate_p=migrate_p,
+            tick_interval=tick_interval,
+            tick_jitter=tick_jitter,
+            rng=np.random.default_rng(root.integers(2**63)),
+        )
+    else:
+        from .admission import AdmissionResourceAgent, AdmissionUserAgent
+
+        resources = [
+            AdmissionResourceAgent(r, instance.latencies[r])
+            for r in range(instance.n_resources)
+        ]
+        user_factory = lambda u: AdmissionUserAgent(  # noqa: E731
+            u,
+            threshold=float(instance.thresholds[u]),
+            weight=float(instance.weights[u]),
+            initial_resource=int(positions[u]),
+            n_resources=instance.n_resources,
+            tick_interval=tick_interval,
+            tick_jitter=tick_jitter,
+            rng=np.random.default_rng(root.integers(2**63)),
+        )
+    for agent in resources:
+        net.register(agent)
+    users = [user_factory(u) for u in range(instance.n_users)]
+    for agent in users:
+        net.register(agent)
+        agent.start(net)
+
+    def satisfied(network: Network) -> bool:
+        if network.in_flight_moves != 0:
+            return False
+        return _snapshot_state(instance, users).is_satisfying()
+
+    reason = net.run(
+        max_time=max_time, max_events=max_events, stop_condition=satisfied
+    )
+    final = _snapshot_state(instance, users)
+    status = "satisfying" if (reason == "stopped" or final.is_satisfying()) else (
+        "max_time" if reason == "max_time" else "max_events"
+    )
+    return MessageSimResult(
+        status=status,
+        time=net.now,
+        total_messages=net.total_messages,
+        message_counts=dict(net.message_counts),
+        total_moves=sum(u.moves for u in users),
+        activations=sum(getattr(u, "activations", 0) for u in users),
+        final_state=final,
+    )

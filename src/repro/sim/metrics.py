@@ -1,0 +1,117 @@
+"""Per-round metric recording for simulation runs.
+
+A :class:`Recorder` collects the round-by-round trajectory of a run:
+unsatisfied counts, migration volumes, optional potentials, and periodic
+load snapshots.  Recording is opt-in (the convergence-time experiments run
+thousands of replications and only need the terminal summary), and the
+recorder appends to Python lists and converts to NumPy arrays once at the
+end — amortised O(1) per round, no quadratic re-allocation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..core.state import State
+
+__all__ = ["Recorder", "Trajectory"]
+
+PotentialFn = Callable[[State], float]
+
+
+@dataclass
+class Trajectory:
+    """Immutable result of a recorded run (arrays indexed by round)."""
+
+    n_unsatisfied: np.ndarray
+    n_moved: np.ndarray
+    n_attempted: np.ndarray
+    potentials: dict[str, np.ndarray] = field(default_factory=dict)
+    load_snapshots: dict[int, np.ndarray] = field(default_factory=dict)
+
+    @property
+    def rounds(self) -> int:
+        return int(self.n_unsatisfied.size)
+
+    def first_satisfying_round(self) -> int | None:
+        """First round index with zero unsatisfied users, or None."""
+        hits = np.nonzero(self.n_unsatisfied == 0)[0]
+        return int(hits[0]) if hits.size else None
+
+    def total_moves(self) -> int:
+        return int(self.n_moved.sum())
+
+    def summary(self) -> dict:
+        out = {
+            "rounds": self.rounds,
+            "total_moves": self.total_moves(),
+            "total_attempts": int(self.n_attempted.sum()),
+            "first_satisfying_round": self.first_satisfying_round(),
+        }
+        for name, series in self.potentials.items():
+            out[f"potential_{name}_final"] = float(series[-1]) if series.size else None
+        return out
+
+
+class Recorder:
+    """Collects per-round metrics; cheap when potentials are not requested.
+
+    Parameters
+    ----------
+    potentials:
+        Mapping name -> callable evaluated on the state every
+        ``potential_every`` rounds (other rounds repeat the last value so
+        series stay aligned with rounds).
+    snapshot_every:
+        If positive, store a copy of the load vector every that many
+        rounds (round 0 included).
+    """
+
+    def __init__(
+        self,
+        potentials: dict[str, PotentialFn] | None = None,
+        potential_every: int = 1,
+        snapshot_every: int = 0,
+    ):
+        if potential_every < 1:
+            raise ValueError("potential_every must be >= 1")
+        if snapshot_every < 0:
+            raise ValueError("snapshot_every must be >= 0")
+        self._potential_fns = dict(potentials or {})
+        self._potential_every = int(potential_every)
+        self._snapshot_every = int(snapshot_every)
+        self._unsat: list[int] = []
+        self._moved: list[int] = []
+        self._attempted: list[int] = []
+        self._potentials: dict[str, list[float]] = {
+            name: [] for name in self._potential_fns
+        }
+        self._snapshots: dict[int, np.ndarray] = {}
+
+    def record(self, round_index: int, state: State, n_moved: int, n_attempted: int) -> None:
+        self._unsat.append(state.n_unsatisfied)
+        self._moved.append(int(n_moved))
+        self._attempted.append(int(n_attempted))
+        for name, fn in self._potential_fns.items():
+            series = self._potentials[name]
+            if round_index % self._potential_every == 0 or not series:
+                series.append(float(fn(state)))
+            else:
+                series.append(series[-1])
+        if self._snapshot_every and round_index % self._snapshot_every == 0:
+            self._snapshots[round_index] = state.loads.copy()
+
+    def finalize(self) -> Trajectory:
+        return Trajectory(
+            n_unsatisfied=np.asarray(self._unsat, dtype=np.int64),
+            n_moved=np.asarray(self._moved, dtype=np.int64),
+            n_attempted=np.asarray(self._attempted, dtype=np.int64),
+            potentials={
+                name: np.asarray(series, dtype=np.float64)
+                for name, series in self._potentials.items()
+            },
+            load_snapshots=dict(self._snapshots),
+        )

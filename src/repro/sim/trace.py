@@ -1,0 +1,126 @@
+"""Structured run traces: JSON round-trips for experiment provenance.
+
+A :class:`Trace` bundles the spec that produced a set of runs with their
+results (summaries and, optionally, trajectories) so that every number in
+``EXPERIMENTS.md`` can point at a file that regenerates it.  Traces are
+plain JSON — no pickles — so they stay diffable and robust across library
+versions.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from .engine import RunResult
+from .parallel import RunSpec
+
+__all__ = ["Trace", "trajectory_to_dict", "write_csv_series"]
+
+
+def _jsonable(obj: Any) -> Any:
+    """Recursively coerce NumPy scalars/arrays into JSON-native values."""
+    if isinstance(obj, dict):
+        return {str(k): _jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(v) for v in obj]
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    if isinstance(obj, (np.bool_,)):
+        return bool(obj)
+    return obj
+
+
+def trajectory_to_dict(result: RunResult) -> dict | None:
+    """Serialize a result's trajectory (None when not recorded)."""
+    traj = result.trajectory
+    if traj is None:
+        return None
+    return _jsonable(
+        {
+            "n_unsatisfied": traj.n_unsatisfied,
+            "n_moved": traj.n_moved,
+            "n_attempted": traj.n_attempted,
+            "potentials": traj.potentials,
+            "load_snapshots": {str(k): v for k, v in traj.load_snapshots.items()},
+        }
+    )
+
+
+@dataclass
+class Trace:
+    """Spec + results of one experiment cell."""
+
+    spec: dict
+    results: list[dict] = field(default_factory=list)
+    meta: dict = field(default_factory=dict)
+
+    @classmethod
+    def from_runs(
+        cls,
+        spec: RunSpec | dict,
+        runs: list[RunResult],
+        *,
+        include_trajectories: bool = False,
+        **meta: Any,
+    ) -> "Trace":
+        spec_dict = spec.describe() if isinstance(spec, RunSpec) else dict(spec)
+        results = []
+        for r in runs:
+            entry = _jsonable(r.summary())
+            if include_trajectories:
+                entry["trajectory"] = trajectory_to_dict(r)
+            results.append(entry)
+        return cls(spec=spec_dict, results=results, meta=_jsonable(dict(meta)))
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {"spec": self.spec, "meta": self.meta, "results": self.results}
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Trace":
+        payload = json.loads(Path(path).read_text())
+        return cls(
+            spec=payload["spec"],
+            results=payload["results"],
+            meta=payload.get("meta", {}),
+        )
+
+    # -- quick aggregates --------------------------------------------------------
+
+    def values(self, key: str) -> np.ndarray:
+        """Array of one summary field across results (None -> NaN)."""
+        vals = [r.get(key) for r in self.results]
+        return np.asarray(
+            [np.nan if v is None else float(v) for v in vals], dtype=np.float64
+        )
+
+    def status_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for r in self.results:
+            counts[r["status"]] = counts.get(r["status"], 0) + 1
+        return counts
+
+
+def write_csv_series(
+    path: str | Path, header: list[str], rows: list[list[Any]]
+) -> Path:
+    """Tiny CSV writer for figure series (no quoting needs expected)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    lines = [",".join(header)]
+    for row in rows:
+        lines.append(",".join(str(_jsonable(v)) for v in row))
+    path.write_text("\n".join(lines) + "\n")
+    return path

@@ -1,0 +1,5 @@
+"""Terminal visualisation: sparklines, line charts, histograms, bar charts."""
+
+from .ascii import bar_chart, histogram, line_chart, sparkline
+
+__all__ = ["sparkline", "line_chart", "histogram", "bar_chart"]

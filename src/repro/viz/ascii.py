@@ -1,0 +1,160 @@
+"""Terminal plots: sparklines, line charts, histograms — no display needed.
+
+The reproduction environment is headless, so the "figures" are rendered as
+Unicode text: benchmark output, CLI summaries and examples embed these
+charts directly.  Everything returns plain strings.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["sparkline", "line_chart", "histogram", "bar_chart"]
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def _finite(values) -> np.ndarray:
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ValueError("need a non-empty 1-D sequence")
+    return arr
+
+
+def sparkline(values: Sequence[float], *, lo: float | None = None, hi: float | None = None) -> str:
+    """One-line trend: ``sparkline([5,3,1,0]) -> '█▅▂▁'``.
+
+    NaNs render as spaces; a constant series renders at the lowest level.
+    ``lo``/``hi`` pin the scale (e.g. 0..1 for fractions across charts).
+    """
+    arr = _finite(values)
+    finite = arr[np.isfinite(arr)]
+    if finite.size == 0:
+        return " " * arr.size
+    lo = float(np.min(finite)) if lo is None else float(lo)
+    hi = float(np.max(finite)) if hi is None else float(hi)
+    span = hi - lo
+    out = []
+    for v in arr:
+        if not math.isfinite(v):
+            out.append(" ")
+            continue
+        if span <= 0:
+            out.append(_SPARK_LEVELS[0])
+            continue
+        idx = int((v - lo) / span * (len(_SPARK_LEVELS) - 1) + 0.5)
+        out.append(_SPARK_LEVELS[max(0, min(idx, len(_SPARK_LEVELS) - 1))])
+    return "".join(out)
+
+
+def line_chart(
+    series: dict[str, Sequence[float]] | Sequence[float],
+    *,
+    width: int = 64,
+    height: int = 12,
+    title: str | None = None,
+    y_label: str = "",
+) -> str:
+    """Multi-series ASCII line chart with a y-axis.
+
+    Series are resampled to ``width`` columns; each gets a distinct marker
+    in legend order (``*+o x#@``).  Intended for trajectories (unsatisfied
+    fraction per round etc.).
+    """
+    if not isinstance(series, dict):
+        series = {"": series}
+    if not series:
+        raise ValueError("need at least one series")
+    if width < 8 or height < 3:
+        raise ValueError("chart too small")
+    markers = "*+ox#@"
+    arrays = {name: _finite(vals) for name, vals in series.items()}
+
+    all_vals = np.concatenate([a[np.isfinite(a)] for a in arrays.values()])
+    if all_vals.size == 0:
+        raise ValueError("no finite values to plot")
+    lo, hi = float(all_vals.min()), float(all_vals.max())
+    if hi == lo:
+        hi = lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for (name, arr), marker in zip(arrays.items(), markers):
+        n = arr.size
+        for col in range(width):
+            # resample: nearest source index for this column
+            src = int(round(col * (n - 1) / max(width - 1, 1))) if n > 1 else 0
+            v = arr[src]
+            if not math.isfinite(v):
+                continue
+            row = int(round((hi - v) / (hi - lo) * (height - 1)))
+            row = max(0, min(row, height - 1))
+            grid[row][col] = marker
+
+    left = max(len(f"{hi:.3g}"), len(f"{lo:.3g}"))
+    lines = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = f"{hi:.3g}".rjust(left)
+        elif i == height - 1:
+            label = f"{lo:.3g}".rjust(left)
+        else:
+            label = " " * left
+        lines.append(f"{label} |{''.join(row)}")
+    lines.append(" " * left + " +" + "-" * width)
+    if y_label:
+        lines.append(" " * left + f"  {y_label}")
+    legend = [
+        f"{marker} {name}"
+        for (name, _), marker in zip(arrays.items(), markers)
+        if name
+    ]
+    if legend:
+        lines.append("   " + "   ".join(legend))
+    return "\n".join(lines)
+
+
+def histogram(
+    values: Sequence[float],
+    *,
+    bins: int = 10,
+    width: int = 40,
+    title: str | None = None,
+) -> str:
+    """Horizontal-bar histogram."""
+    arr = _finite(values)
+    arr = arr[np.isfinite(arr)]
+    if arr.size == 0:
+        raise ValueError("no finite values")
+    counts, edges = np.histogram(arr, bins=bins)
+    peak = counts.max() if counts.max() > 0 else 1
+    lines = [title] if title else []
+    for c, lo_e, hi_e in zip(counts, edges[:-1], edges[1:]):
+        bar = "#" * int(round(c / peak * width))
+        lines.append(f"[{lo_e:10.4g}, {hi_e:10.4g}) {bar} {c}")
+    return "\n".join(lines)
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    *,
+    width: int = 40,
+    title: str | None = None,
+    fmt: str = "{:.4g}",
+) -> str:
+    """Labelled horizontal bars (protocol-comparison style)."""
+    arr = _finite(values)
+    if len(labels) != arr.size:
+        raise ValueError("labels and values must match")
+    peak = float(np.max(np.abs(arr))) or 1.0
+    label_w = max(len(str(s)) for s in labels)
+    lines = [title] if title else []
+    for label, v in zip(labels, arr):
+        bar = "#" * int(round(abs(v) / peak * width))
+        lines.append(f"{str(label).ljust(label_w)} |{bar} {fmt.format(v)}")
+    return "\n".join(lines)

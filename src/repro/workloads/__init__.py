@@ -1,0 +1,43 @@
+"""Synthetic workloads: instance generators and resource topologies."""
+
+from .generators import (
+    mm1_farm,
+    overloaded,
+    polynomial_farm,
+    random_access,
+    related_speeds,
+    tight_uniform,
+    two_class,
+    uniform_slack,
+    weighted_uniform,
+    zipf_thresholds,
+)
+from .topology import (
+    TOPOLOGIES,
+    barabasi_albert_graph,
+    complete_graph,
+    random_regular_graph,
+    ring_graph,
+    star_graph,
+    torus_graph,
+)
+
+__all__ = [
+    "uniform_slack",
+    "tight_uniform",
+    "two_class",
+    "zipf_thresholds",
+    "overloaded",
+    "related_speeds",
+    "mm1_farm",
+    "polynomial_farm",
+    "weighted_uniform",
+    "random_access",
+    "TOPOLOGIES",
+    "complete_graph",
+    "ring_graph",
+    "torus_graph",
+    "random_regular_graph",
+    "barabasi_albert_graph",
+    "star_graph",
+]

@@ -1,0 +1,84 @@
+"""Resource-graph topologies for limited-visibility experiments (F9).
+
+Builders return :class:`~repro.core.protocols.neighborhood.ResourceGraph`
+objects compiled from :mod:`networkx` generators.  All graphs are
+connected (the protocol requires it) and are deterministic in their seed.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from ..core.protocols.neighborhood import ResourceGraph
+
+__all__ = [
+    "complete_graph",
+    "ring_graph",
+    "torus_graph",
+    "random_regular_graph",
+    "barabasi_albert_graph",
+    "star_graph",
+    "TOPOLOGIES",
+]
+
+
+def complete_graph(m: int) -> ResourceGraph:
+    """Every resource sees every other — one-hop visibility is global."""
+    return ResourceGraph(nx.complete_graph(m), m)
+
+
+def ring_graph(m: int) -> ResourceGraph:
+    """Cycle: diameter ``m/2``; the slowest reasonable connected topology."""
+    if m < 3:
+        raise ValueError("ring needs m >= 3")
+    return ResourceGraph(nx.cycle_graph(m), m)
+
+
+def torus_graph(m: int) -> ResourceGraph:
+    """2-D torus grid (requires ``m`` to be a perfect square)."""
+    side = int(round(m**0.5))
+    if side * side != m:
+        raise ValueError("torus needs a perfect-square m")
+    g = nx.grid_2d_graph(side, side, periodic=True)
+    g = nx.convert_node_labels_to_integers(g, ordering="sorted")
+    return ResourceGraph(g, m)
+
+
+def random_regular_graph(m: int, degree: int = 4, seed: int = 0) -> ResourceGraph:
+    """Random ``degree``-regular graph: logarithmic diameter w.h.p."""
+    if degree >= m:
+        raise ValueError("degree must be < m")
+    if (degree * m) % 2 != 0:
+        raise ValueError("degree * m must be even")
+    for attempt in range(16):
+        g = nx.random_regular_graph(degree, m, seed=seed + attempt)
+        if nx.is_connected(g):
+            return ResourceGraph(g, m)
+    raise RuntimeError("failed to draw a connected random regular graph")
+
+
+def barabasi_albert_graph(m: int, attach: int = 2, seed: int = 0) -> ResourceGraph:
+    """Preferential-attachment graph: hub-dominated, small diameter."""
+    if attach < 1 or attach >= m:
+        raise ValueError("attach must be in [1, m)")
+    g = nx.barabasi_albert_graph(m, attach, seed=seed)
+    return ResourceGraph(g, m)
+
+
+def star_graph(m: int) -> ResourceGraph:
+    """Hub-and-spokes: diameter 2 but a single bottleneck hub."""
+    if m < 2:
+        raise ValueError("star needs m >= 2")
+    return ResourceGraph(nx.star_graph(m - 1), m)
+
+
+#: Name -> builder registry used by the F9 bench and the CLI.  Builders
+#: take (m, seed) and ignore the seed when deterministic.
+TOPOLOGIES = {
+    "complete": lambda m, seed=0: complete_graph(m),
+    "ring": lambda m, seed=0: ring_graph(m),
+    "torus": lambda m, seed=0: torus_graph(m),
+    "random-regular": lambda m, seed=0: random_regular_graph(m, 4, seed),
+    "barabasi-albert": lambda m, seed=0: barabasi_albert_graph(m, 2, seed),
+    "star": lambda m, seed=0: star_graph(m),
+}

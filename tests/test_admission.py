@@ -1,0 +1,163 @@
+"""Asynchronous admission control (msgsim): no overshoot, monotone, fast."""
+
+import numpy as np
+import pytest
+
+from repro.core.instance import Instance
+from repro.core.latency import IdentityLatency
+from repro.msgsim.admission import (
+    AdmissionResourceAgent,
+    AdmitJoin,
+    AdmitLeave,
+    AdmitReply,
+    AdmitRequest,
+)
+from repro.msgsim.network import ConstantDelay, Network
+from repro.msgsim.runner import run_message_sim
+from repro.workloads.generators import overloaded, uniform_slack, weighted_uniform
+
+
+class _Sink:
+    def __init__(self, agent_id):
+        self.agent_id = agent_id
+        self.received = []
+
+    def handle(self, msg, network):
+        self.received.append(msg)
+
+
+class TestResourceAgent:
+    def make(self):
+        net = Network(delay_model=ConstantDelay(0.01), seed=0)
+        res = AdmissionResourceAgent(0, IdentityLatency())
+        sink = _Sink("user:0")
+        net.register(res)
+        net.register(sink)
+        return net, res, sink
+
+    def test_admission_reserves(self):
+        net, res, sink = self.make()
+        net.send(res.agent_id, AdmitRequest("user:0", threshold=2.0, weight=1.0))
+        net.run(max_events=5)
+        assert res.reserved == 1.0
+        reply = sink.received[-1]
+        assert isinstance(reply, AdmitReply) and reply.admitted
+
+    def test_reservations_block_overshoot(self):
+        net, res, sink = self.make()
+        # threshold 2: room for two users; the third must be denied even
+        # though nobody has joined yet (only reservations exist).
+        for _ in range(3):
+            net.send(res.agent_id, AdmitRequest("user:0", threshold=2.0, weight=1.0))
+        net.run(max_events=10)
+        verdicts = [m.admitted for m in sink.received if isinstance(m, AdmitReply)]
+        assert verdicts == [True, True, False]
+        assert res.reserved == 2.0
+
+    def test_join_converts_reservation(self):
+        net, res, sink = self.make()
+        net.send(res.agent_id, AdmitRequest("user:0", threshold=2.0, weight=1.0))
+        net.run(max_events=5)
+        net.send(res.agent_id, AdmitJoin("user:0", threshold=2.0, weight=1.0))
+        net.run(max_events=5)
+        assert res.load == 1.0 and res.reserved == 0.0
+        assert res.resident_thresholds[2.0] == 1
+
+    def test_unreserved_join_rejected(self):
+        net, res, sink = self.make()
+        net.send(res.agent_id, AdmitJoin("user:0", threshold=2.0, weight=1.0))
+        with pytest.raises(AssertionError):
+            net.run(max_events=5)
+
+    def test_startup_join_allowed(self):
+        net, res, sink = self.make()
+        net.send(
+            res.agent_id,
+            AdmitJoin("user:0", threshold=2.0, weight=1.0, reserved=False),
+        )
+        net.run(max_events=5)
+        assert res.load == 1.0
+
+    def test_resident_min_guards_real_arrivals(self):
+        net, res, sink = self.make()
+        # A tight resident (q = 1) at load 1; an arrival with a huge
+        # threshold would push the load to 2 > 1: must be denied.
+        net.send(
+            res.agent_id,
+            AdmitJoin("user:0", threshold=1.0, weight=1.0, reserved=False),
+        )
+        net.run(max_events=5)
+        net.send(res.agent_id, AdmitRequest("user:0", threshold=99.0, weight=1.0))
+        net.run(max_events=5)
+        assert not sink.received[-1].admitted
+
+    def test_zero_weight_check_ignores_resident_min(self):
+        net, res, sink = self.make()
+        # residents: q=1 (unsatisfied at load 2) and q=9 (satisfied).
+        net.send(res.agent_id, AdmitJoin("u", threshold=1.0, weight=1.0, reserved=False))
+        net.send(res.agent_id, AdmitJoin("u", threshold=9.0, weight=1.0, reserved=False))
+        net.run(max_events=5)
+        # the q=9 user's self-check must say "satisfied" (2 <= 9) even
+        # though the resident minimum is 1.
+        net.send(res.agent_id, AdmitRequest("user:0", threshold=9.0, weight=0.0))
+        net.run(max_events=5)
+        assert sink.received[-1].admitted
+
+    def test_leave_updates_threshold_multiset(self):
+        net, res, sink = self.make()
+        net.send(res.agent_id, AdmitJoin("u", threshold=2.0, weight=1.0, reserved=False))
+        net.send(res.agent_id, AdmitJoin("u", threshold=2.0, weight=1.0, reserved=False))
+        net.run(max_events=5)
+        net.send(res.agent_id, AdmitLeave("u", threshold=2.0, weight=1.0))
+        net.run(max_events=5)
+        assert res.resident_thresholds[2.0] == 1
+        net.send(res.agent_id, AdmitLeave("u", threshold=2.0, weight=1.0))
+        net.run(max_events=5)
+        assert 2.0 not in res.resident_thresholds
+
+
+class TestAdmissionRuns:
+    def test_converges_on_generous_instance(self):
+        inst = uniform_slack(240, 16, slack=0.25)
+        result = run_message_sim(
+            inst, seed=3, protocol="admission", initial="pile", max_time=500.0
+        )
+        assert result.status == "satisfying"
+        result.final_state.check_invariants()
+
+    def test_faster_and_cheaper_than_sampling(self):
+        inst = uniform_slack(300, 20, slack=0.2)
+        sampling = run_message_sim(
+            inst, seed=4, protocol="sampling", initial="pile", max_time=500.0
+        )
+        admission = run_message_sim(
+            inst, seed=4, protocol="admission", initial="pile", max_time=500.0
+        )
+        assert admission.status == sampling.status == "satisfying"
+        assert admission.time <= sampling.time
+        assert admission.total_messages <= sampling.total_messages
+
+    def test_no_overshoot_reaches_opt_on_overload(self):
+        # From the pile, admission fills resources to exactly q and stops:
+        # OPT_sat = (m-1)*q satisfied users, asynchronously.
+        m, q = 8, 16
+        inst = overloaded(160, m, float(q))
+        result = run_message_sim(
+            inst, seed=1, protocol="admission", initial="pile", max_time=300.0
+        )
+        assert result.n_satisfied == (m - 1) * q
+        loads = np.sort(result.final_state.loads)[::-1]
+        assert (loads[1:] == q).all()
+
+    def test_monotone_satisfaction_supports_weights(self):
+        inst = weighted_uniform(100, 8, slack=0.4, rng=2)
+        result = run_message_sim(
+            inst, seed=5, protocol="admission", initial="pile", max_time=1000.0
+        )
+        assert result.status == "satisfying"
+        assert result.final_state.loads.sum() == pytest.approx(inst.weights.sum())
+
+    def test_unknown_protocol_rejected(self):
+        inst = uniform_slack(16, 4, slack=0.3)
+        with pytest.raises(ValueError):
+            run_message_sim(inst, protocol="bogus")

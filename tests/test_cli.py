@@ -1,0 +1,120 @@
+"""Command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for eid in ("F1", "F9", "T1", "T4"):
+        assert eid in out
+
+
+def test_demo(capsys):
+    assert main(["demo"]) == 0
+    out = capsys.readouterr().out
+    assert "satisfying" in out
+    assert "qos-sampling" in out
+
+
+def test_simulate_converging(capsys):
+    code = main(
+        [
+            "simulate",
+            "--generator",
+            "uniform_slack",
+            "--gen-arg",
+            "n=64",
+            "--gen-arg",
+            "m=8",
+            "--gen-arg",
+            "slack=0.3",
+            "--protocol",
+            "permit",
+            "--initial",
+            "pile",
+            "--seed",
+            "3",
+        ]
+    )
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["status"] == "satisfying"
+    assert payload["n_users"] == 64
+
+
+def test_simulate_nonconverging_exit_code(capsys):
+    code = main(
+        [
+            "simulate",
+            "--generator",
+            "overloaded",
+            "--gen-arg",
+            "n=40",
+            "--gen-arg",
+            "m=4",
+            "--gen-arg",
+            "q=4.0",
+            "--protocol",
+            "blind-random",
+            "--max-rounds",
+            "20",
+        ]
+    )
+    assert code == 2  # ran out of budget
+
+
+def test_run_f2_small(tmp_path, capsys):
+    code = main(
+        [
+            "run",
+            "F2",
+            "--set",
+            "n=128",
+            "--set",
+            "m=8",
+            "--set",
+            "n_reps=2",
+            "--out",
+            str(tmp_path),
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "F2" in out
+    files = list(tmp_path.glob("f2_ci.*"))
+    assert len(files) == 2
+    payload = json.loads((tmp_path / "f2_ci.json").read_text())
+    assert payload["experiment_id"] == "F2"
+    assert payload["rows"]
+
+
+def test_fluid_command(capsys):
+    assert main(["fluid", "--n", "10000", "--m", "16"]) == 0
+    out = capsys.readouterr().out
+    assert "fluid forecast" in out
+    assert "rounds to unsatisfied mass" in out
+
+
+def test_churn_command(capsys):
+    assert main(
+        ["churn", "--rho", "0.7", "--m", "8", "--q", "8", "--rounds", "80",
+         "--warmup", "20"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "steady_satisfied_fraction" in out
+    assert "satisfied fraction" in out
+
+
+def test_bad_kv_arg():
+    with pytest.raises(SystemExit):
+        main(["simulate", "--generator", "uniform_slack", "--gen-arg", "oops"])
+
+
+def test_unknown_experiment():
+    with pytest.raises(KeyError):
+        main(["run", "ZZ"])

@@ -1,0 +1,73 @@
+"""Convergence-time distribution analysis."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.distributions import (
+    geometric_tail_fit,
+    survival_function,
+    whp_quantile,
+)
+
+
+def test_survival_function_basics():
+    ts, probs = survival_function([1, 1, 2, 3])
+    assert list(ts) == [1, 2, 3]
+    assert probs[0] == pytest.approx(0.5)   # P(T > 1)
+    assert probs[-1] == pytest.approx(0.0)  # P(T > max)
+    with pytest.raises(ValueError):
+        survival_function([float("nan")])
+
+
+def test_geometric_fit_recovers_rate():
+    rng = np.random.default_rng(0)
+    # geometric with success prob 0.3: survival decays as 0.7**t
+    samples = rng.geometric(0.3, size=20_000)
+    fit = geometric_tail_fit(samples)
+    assert fit.rate == pytest.approx(0.7, abs=0.03)
+    assert fit.r_squared > 0.99
+    assert fit.halving_time() == pytest.approx(math.log(0.5) / math.log(0.7), rel=0.1)
+
+
+def test_geometric_fit_needs_tail_points():
+    with pytest.raises(ValueError):
+        geometric_tail_fit([5, 5, 5, 5])
+
+
+def test_whp_quantile_on_geometric():
+    rng = np.random.default_rng(1)
+    samples = rng.geometric(0.5, size=5_000)
+    t_star = whp_quantile(samples, delta=0.05, gamma=0.05)
+    # true P(T > t) = 0.5**t: 0.5**5 ~ 0.031 < 0.05, so t* should be ~5-7
+    assert 4 <= t_star <= 8
+    assert float(np.mean(np.asarray(samples) > t_star)) <= 0.05
+
+
+def test_whp_quantile_small_sample_raises():
+    with pytest.raises(ValueError):
+        whp_quantile([1, 2, 3], delta=0.05)
+
+
+def test_whp_quantile_validation():
+    with pytest.raises(ValueError):
+        whp_quantile([1] * 100, delta=1.5)
+
+
+def test_whp_quantile_on_protocol_runs():
+    """End-to-end: a w.h.p. convergence bound for the sampling protocol."""
+    from repro.sim.parallel import RunSpec, replicate
+
+    spec = RunSpec(
+        generator="uniform_slack",
+        generator_kwargs={"n": 512, "m": 16, "slack": 0.25},
+        initial="pile",
+        label="whp",
+    )
+    results = replicate(spec, 400, base_seed=9)
+    rounds = [r.rounds for r in results if r.status == "satisfying"]
+    assert len(rounds) == 400
+    t_star = whp_quantile(rounds, delta=0.1, gamma=0.05)
+    # convergence concentrates hard: the 90% w.h.p. bound is single-digit
+    assert t_star <= 12

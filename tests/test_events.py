@@ -1,0 +1,123 @@
+"""Failure/churn events: instance transformation semantics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.instance import AccessMap, Instance
+from repro.core.latency import IdentityLatency, LatencyProfile, UnavailableLatency
+from repro.core.state import State
+from repro.sim.events import (
+    ResourceFailure,
+    ResourceRecovery,
+    UserArrival,
+    UserDeparture,
+)
+
+
+@pytest.fixture
+def inst():
+    return Instance.identical_machines([4.0] * 8, 4)
+
+
+@pytest.fixture
+def state(inst):
+    return State(inst, np.asarray([0, 0, 1, 1, 2, 2, 3, 3]))
+
+
+def test_resource_failure(inst, state, rng):
+    new_inst, new_state = ResourceFailure(5, 2).apply(inst, state, rng)
+    assert isinstance(new_inst.latencies[2], UnavailableLatency)
+    # users stay where they were; the failed resource's users are unsat.
+    assert list(new_state.assignment) == list(state.assignment)
+    assert not new_state.satisfied_mask()[4]
+    assert not new_state.satisfied_mask()[5]
+    assert new_state.satisfied_mask()[0]
+    assert math.isinf(new_state.user_latencies()[4])
+
+
+def test_resource_recovery(inst, state, rng):
+    failed_inst, failed_state = ResourceFailure(5, 2).apply(inst, state, rng)
+    rec_inst, rec_state = ResourceRecovery(9, 2, IdentityLatency()).apply(
+        failed_inst, failed_state, rng
+    )
+    assert isinstance(rec_inst.latencies[2], IdentityLatency)
+    assert rec_state.is_satisfying()
+
+
+def test_recovery_requires_failed_resource(inst, state, rng):
+    with pytest.raises(ValueError):
+        ResourceRecovery(9, 2, IdentityLatency()).apply(inst, state, rng)
+
+
+def test_failure_out_of_range(inst, state, rng):
+    with pytest.raises(ValueError):
+        ResourceFailure(5, 9).apply(inst, state, rng)
+
+
+def test_user_arrival(inst, state, rng):
+    ev = UserArrival(3, np.asarray([2.0, 2.0, 2.0]), np.asarray([1.0, 1.0, 2.0]))
+    new_inst, new_state = ev.apply(inst, state, rng)
+    assert new_inst.n_users == 11
+    assert new_inst.thresholds[-1] == 2.0
+    assert new_inst.weights[-1] == 2.0
+    assert new_state.loads.sum() == pytest.approx(8 + 4.0)
+    new_state.check_invariants()
+
+
+def test_user_arrival_validation():
+    with pytest.raises(ValueError):
+        UserArrival(0, np.asarray([]))
+    with pytest.raises(ValueError):
+        UserArrival(0, np.asarray([2.0]), np.asarray([1.0, 1.0]))
+
+
+def test_user_departure_random(inst, state, rng):
+    new_inst, new_state = UserDeparture(2, count=3).apply(inst, state, rng)
+    assert new_inst.n_users == 5
+    assert new_state.loads.sum() == 5
+    new_state.check_invariants()
+
+
+def test_user_departure_explicit(inst, state, rng):
+    new_inst, new_state = UserDeparture(2, users=np.asarray([0, 7])).apply(
+        inst, state, rng
+    )
+    assert new_inst.n_users == 6
+    # remaining users keep their resources (indices compacted)
+    assert list(new_state.assignment) == [0, 1, 1, 2, 2, 3]
+
+
+def test_user_departure_validation(inst, state, rng):
+    with pytest.raises(ValueError):
+        UserDeparture(0)
+    with pytest.raises(ValueError):
+        UserDeparture(0, users=np.asarray([99])).apply(inst, state, rng)
+    with pytest.raises(ValueError):
+        UserDeparture(0, users=np.arange(8)).apply(inst, state, rng)
+
+
+def test_events_require_complete_access(rng):
+    inst = Instance(
+        thresholds=np.asarray([2.0, 2.0]),
+        latencies=LatencyProfile.identical(2),
+        access=AccessMap([[0], [1]], 2),
+    )
+    state = State(inst, np.asarray([0, 1]))
+    with pytest.raises(NotImplementedError):
+        ResourceFailure(0, 0).apply(inst, state, rng)
+
+
+def test_negative_round_rejected():
+    with pytest.raises(ValueError):
+        ResourceFailure(-1, 0)
+
+
+def test_describe():
+    assert ResourceFailure(5, 2).describe() == {
+        "type": "ResourceFailure",
+        "round": 5,
+        "resource": 2,
+    }
+    assert UserArrival(1, np.asarray([2.0])).describe()["n_arriving"] == 1

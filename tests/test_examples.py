@@ -1,0 +1,59 @@
+"""The example scripts run end-to-end and print their headline results."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart.py", capsys)
+    assert "feasible (exact check):   True" in out
+    assert "satisfying" in out
+    assert "permit" in out
+
+
+def test_datacenter(capsys):
+    out = run_example("datacenter_autoscaling.py", capsys)
+    assert "SLO attainment" in out
+    assert "latency-critical: 100.0%" in out
+    assert "jobs remaining on failed servers: 0" in out
+
+
+def test_overload_admission(capsys):
+    out = run_example("overload_admission.py", capsys)
+    assert "OPT_sat (exact) = 496" in out
+    assert "selfish-rebalance" in out
+    # balancing collapses; permits protect ~OPT
+    assert "100.0%" in out
+    assert "0.0%" in out
+
+
+def test_distributed_agents(capsys):
+    out = run_example("distributed_agents.py", capsys)
+    assert "round engine:  satisfying" in out
+    assert "message agents: satisfying" in out
+    assert "LoadQuery" in out
+
+
+def test_capacity_planning(capsys):
+    out = run_example("capacity_planning.py", capsys)
+    assert "feasibility floor" in out
+    assert "satisfied" in out
+    assert "fluid forecast" in out
+
+
+@pytest.mark.slow
+def test_wireless_channels(capsys):
+    out = run_example("wireless_channels.py", capsys)
+    assert "full band scan" in out
+    assert "adjacent only" in out
+    assert "local trap" in out

@@ -1,0 +1,59 @@
+"""experiments.common: cell + aggregation + rendering plumbing."""
+
+import pytest
+
+from repro.experiments.common import ExperimentResult, cell, convergence_stats
+
+
+def test_cell_runs_replications():
+    results = cell(
+        generator="uniform_slack",
+        generator_kwargs={"n": 64, "m": 8, "slack": 0.3},
+        n_reps=4,
+        label="common-test",
+    )
+    assert len(results) == 4
+    assert all(r.status == "satisfying" for r in results)
+
+
+def test_convergence_stats_aggregates():
+    results = cell(
+        generator="uniform_slack",
+        generator_kwargs={"n": 64, "m": 8, "slack": 0.3},
+        n_reps=5,
+        label="common-test-2",
+    )
+    stats = convergence_stats(results)
+    assert stats["n_reps"] == 5
+    assert stats["satisfying_fraction"] == 1.0
+    assert stats["rounds_median"] is not None
+    assert stats["rounds_ci_low"] <= stats["rounds_median"] <= stats["rounds_ci_high"]
+    assert stats["moves_mean"] > 0
+
+
+def test_convergence_stats_handles_no_satisfying_runs():
+    results = cell(
+        generator="overloaded",
+        generator_kwargs={"n": 40, "m": 4, "q": 4.0},
+        protocol="blind-random",
+        n_reps=2,
+        max_rounds=20,
+        label="common-test-3",
+    )
+    stats = convergence_stats(results)
+    assert stats["satisfying_fraction"] == 0.0
+    assert stats["rounds_median"] is None
+
+
+def test_experiment_result_render():
+    result = ExperimentResult(
+        experiment_id="X0",
+        title="demo",
+        headers=["a", "b"],
+        rows=[[1, 2.5]],
+        findings=["note one"],
+    )
+    text = result.render()
+    assert "X0: demo" in text
+    assert "note one" in text
+    assert "2.5" in text

@@ -1,0 +1,169 @@
+"""Fluid (mean-field) model and Wardrop equilibria."""
+
+import numpy as np
+import pytest
+
+from repro.core.latency import (
+    IdentityLatency,
+    LatencyProfile,
+    MM1Latency,
+)
+from repro.fluid.model import FluidSystem, run_fluid
+from repro.fluid.wardrop import satisfied_mass_at, wardrop_equilibrium
+
+
+def make_system(m=16, theta=0.1, p=0.5):
+    return FluidSystem(
+        m=m, thetas=np.asarray([theta]), masses=np.asarray([1.0]), p=p
+    )
+
+
+class TestFluidSystem:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FluidSystem(m=0, thetas=np.asarray([0.1]), masses=np.asarray([1.0]))
+        with pytest.raises(ValueError):
+            FluidSystem(m=4, thetas=np.asarray([-0.1]), masses=np.asarray([1.0]))
+        with pytest.raises(ValueError):
+            FluidSystem(m=4, thetas=np.asarray([0.1]), masses=np.asarray([0.5]))
+        with pytest.raises(ValueError):
+            FluidSystem(
+                m=4, thetas=np.asarray([0.1]), masses=np.asarray([1.0]), p=0.0
+            )
+
+    def test_mass_conservation(self):
+        system = make_system()
+        x = system.pile_state()
+        for _ in range(50):
+            x = system.step(x)
+            assert x.sum() == pytest.approx(1.0)
+            assert np.all(x >= -1e-15)
+
+    def test_satisfying_states_are_fixed_points(self):
+        system = make_system(m=4, theta=0.3)
+        x = system.uniform_state()  # loads 0.25 < 0.3: all satisfied
+        assert system.total_unsatisfied(x) == 0.0
+        assert np.allclose(system.step(x), x)
+
+    def test_pile_drains_with_slack(self):
+        # theta = 1.25 / m: 25% fluid slack.
+        system = make_system(m=16, theta=1.25 / 16)
+        traj = run_fluid(system, initial="pile", eps=1e-9)
+        assert traj.unsatisfied[0] == pytest.approx(1.0)
+        assert traj.unsatisfied[-1] <= 1e-9
+        # monotone decrease (uniform threshold: no fluid overshoot can
+        # increase the unsatisfied mass once accepting capacity exists)
+        diffs = np.diff(traj.unsatisfied)
+        assert np.all(diffs <= 1e-12)
+
+    def test_two_classes(self):
+        system = FluidSystem(
+            m=8,
+            thetas=np.asarray([0.2, 0.5]),
+            masses=np.asarray([0.5, 0.5]),
+            p=0.5,
+        )
+        traj = run_fluid(system, initial="pile", eps=1e-9)
+        assert traj.unsatisfied[-1] <= 1e-9
+        assert traj.final_state.shape == (8, 2)
+
+    def test_run_fluid_validation(self):
+        system = make_system()
+        with pytest.raises(ValueError):
+            run_fluid(system, initial=np.zeros((3, 1)))
+        with pytest.raises(ValueError):
+            run_fluid(system, initial=np.zeros((16, 1)))  # mass 0 != 1
+
+
+class TestFluidMatchesDiscrete:
+    def test_trajectory_agreement_at_large_n(self):
+        """The headline validation: n = 32000 matches the fluid map to
+        a few parts in a thousand, round by round."""
+        import math
+
+        import repro
+        from repro.sim.metrics import Recorder
+
+        n, m, slack = 32000, 32, 0.25
+        q = math.ceil(n / (m * (1 - slack)))
+        system = FluidSystem(
+            m=m, thetas=np.asarray([q / n]), masses=np.asarray([1.0]), p=0.5
+        )
+        fluid = run_fluid(system, initial="pile", eps=0.0, max_rounds=50)
+        recorder = Recorder()
+        repro.run(
+            repro.workloads.uniform_slack(n, m, slack),
+            repro.QoSSamplingProtocol(),
+            seed=1,
+            initial="pile",
+            recorder=recorder,
+        )
+        discrete = recorder.finalize().n_unsatisfied / n
+        horizon = min(discrete.size, fluid.rounds - 1)
+        dev = np.max(
+            np.abs(discrete[:horizon] - fluid.unsatisfied[1 : horizon + 1])
+        )
+        assert dev < 0.01
+
+
+class TestWardrop:
+    def test_related_machines_proportional(self):
+        profile = LatencyProfile.related([1.0, 2.0, 4.0])
+        flow = wardrop_equilibrium(profile, 7.0)
+        assert np.allclose(flow.loads, [1.0, 2.0, 4.0], atol=1e-6)
+        assert flow.level == pytest.approx(1.0, abs=1e-6)
+
+    def test_equalised_latencies_on_used_resources(self):
+        profile = LatencyProfile(
+            [IdentityLatency(), IdentityLatency(), MM1Latency(5.0)]
+        )
+        flow = wardrop_equilibrium(profile, 6.0)
+        lat = profile.evaluate(flow.loads)
+        used = flow.loads > 1e-9
+        assert np.allclose(lat[used], flow.level, rtol=1e-5)
+        assert flow.total == pytest.approx(6.0)
+
+    def test_unused_expensive_resource(self):
+        from repro.core.latency import AffineLatency
+
+        # offset 10 keeps this resource empty at low levels.
+        profile = LatencyProfile([IdentityLatency(), AffineLatency(1.0, 10.0)])
+        flow = wardrop_equilibrium(profile, 3.0)
+        assert flow.loads[1] == pytest.approx(0.0, abs=1e-9)
+        assert flow.loads[0] == pytest.approx(3.0)
+
+    def test_zero_mass(self):
+        profile = LatencyProfile.identical(3)
+        flow = wardrop_equilibrium(profile, 0.0)
+        assert flow.total == 0.0
+
+    def test_unabsorbable_mass_raises(self):
+        profile = LatencyProfile([MM1Latency(2.0)])
+        with pytest.raises(ValueError):
+            wardrop_equilibrium(profile, 5.0)  # mu = 2 < mass
+
+    def test_satisfied_mass_under_thresholds(self):
+        profile = LatencyProfile.identical(4)
+        flow = wardrop_equilibrium(profile, 8.0)  # loads 2 each, latency 2
+        full = satisfied_mass_at(
+            flow, profile, np.asarray([3.0]), np.asarray([1.0])
+        )
+        none = satisfied_mass_at(
+            flow, profile, np.asarray([1.0]), np.asarray([1.0])
+        )
+        assert full == pytest.approx(1.0)
+        assert none == pytest.approx(0.0)
+        mixed = satisfied_mass_at(
+            flow, profile, np.asarray([3.0, 1.0]), np.asarray([0.25, 0.75])
+        )
+        assert mixed == pytest.approx(0.25)
+
+    def test_balancing_is_wrong_under_scarcity_fluid_face(self):
+        """Fluid version of T4: Wardrop satisfies nobody at 1.5x overload
+        while the QoS capacity could satisfy most of the mass."""
+        profile = LatencyProfile.identical(8)
+        q = 2.0
+        mass = 1.5 * 8 * q  # 24 mass on 16 QoS capacity
+        flow = wardrop_equilibrium(profile, mass)
+        sat = satisfied_mass_at(flow, profile, np.asarray([q]), np.asarray([1.0]))
+        assert sat == pytest.approx(0.0)

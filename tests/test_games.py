@@ -1,0 +1,109 @@
+"""Game-theoretic substrate: Nash equilibria, stable-state enumeration, PoA."""
+
+import numpy as np
+import pytest
+
+from repro.core.feasibility import max_satisfied
+from repro.core.instance import Instance
+from repro.core.potential import rosenthal_potential
+from repro.core.protocols import QoSSamplingProtocol
+from repro.core.stability import is_stable
+from repro.core.state import State
+from repro.games.congestion import (
+    is_latency_nash,
+    latency_improving_move,
+    nash_by_best_response,
+    rosenthal_gap,
+)
+from repro.games.satisfaction import (
+    empirical_stable_satisfaction,
+    enumerate_stable_states,
+    satisfaction_price_of_anarchy,
+    worst_stable_satisfaction,
+)
+
+from conftest import random_small_instance
+
+
+class TestCongestion:
+    def test_best_response_reaches_nash(self):
+        rng = np.random.default_rng(13)
+        for _ in range(25):
+            inst = random_small_instance(rng, max_n=8, max_m=4)
+            eq = nash_by_best_response(inst, seed=rng)
+            assert is_latency_nash(eq)
+
+    def test_rosenthal_decreases_along_dynamics(self):
+        inst = Instance.identical_machines([9.0] * 10, 3)
+        state = State.worst_case_pile(inst)
+        phi = rosenthal_potential(state)
+        while True:
+            move = latency_improving_move(state)
+            if move is None:
+                break
+            state.move_user(*move)
+            new_phi = rosenthal_potential(state)
+            assert new_phi < phi
+            phi = new_phi
+
+    def test_nash_on_identical_machines_is_balanced(self):
+        inst = Instance.identical_machines([99.0] * 12, 4)
+        eq = nash_by_best_response(inst, seed=1)
+        assert eq.loads.max() - eq.loads.min() <= 1
+
+    def test_rosenthal_gap_zero_at_equilibrium(self):
+        inst = Instance.identical_machines([99.0] * 8, 2)
+        eq = nash_by_best_response(inst, seed=0)
+        assert rosenthal_gap(eq) == pytest.approx(0.0)
+
+    def test_improving_move_none_at_nash(self):
+        inst = Instance.identical_machines([9.0] * 4, 2)
+        state = State(inst, np.asarray([0, 0, 1, 1]))
+        assert latency_improving_move(state) is None
+
+
+class TestSatisfactionGame:
+    def test_stable_states_match_is_stable(self):
+        rng = np.random.default_rng(3)
+        inst = random_small_instance(rng, max_n=4, max_m=3, max_q=4)
+        from itertools import product
+
+        expected = 0
+        for cand in product(range(inst.n_resources), repeat=inst.n_users):
+            if is_stable(State(inst, np.asarray(cand, dtype=np.int64))):
+                expected += 1
+        found = sum(1 for _ in enumerate_stable_states(inst))
+        assert found == expected > 0
+
+    def test_trap_poa_exceeds_one(self, trap_instance):
+        # OPT satisfies all 7; the trap state satisfies only 6.
+        worst, witness = worst_stable_satisfaction(trap_instance)
+        assert worst <= 6
+        assert is_stable(witness)
+        poa = satisfaction_price_of_anarchy(trap_instance)
+        assert poa >= 7 / 6 - 1e-9
+
+    def test_generous_instance_poa_is_one(self):
+        inst = Instance.identical_machines([4.0] * 8, 4)  # m*q = 16 >= 8
+        assert satisfaction_price_of_anarchy(inst) == pytest.approx(1.0)
+
+    def test_enumeration_limit(self):
+        inst = Instance.identical_machines([4.0] * 30, 4)
+        with pytest.raises(ValueError):
+            list(enumerate_stable_states(inst, limit=10))
+
+    def test_worst_stable_consistent_with_opt(self):
+        rng = np.random.default_rng(21)
+        for _ in range(20):
+            inst = random_small_instance(rng, max_n=5, max_m=3, max_q=5)
+            worst, _ = worst_stable_satisfaction(inst)
+            opt = max_satisfied(inst).n_satisfied
+            assert worst <= opt
+
+    def test_empirical_stable_satisfaction(self, trap_instance):
+        counts = empirical_stable_satisfaction(
+            trap_instance, QoSSamplingProtocol(), n_runs=6, max_rounds=2000, seed=2
+        )
+        assert counts.shape == (6,)
+        assert np.all(counts <= trap_instance.n_users)
+        assert np.all(counts >= 0)

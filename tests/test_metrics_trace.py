@@ -1,0 +1,123 @@
+"""Recorder/Trajectory and Trace serialization."""
+
+import numpy as np
+import pytest
+
+from repro.core.potential import unsatisfied_count, violation_mass
+from repro.core.protocols import QoSSamplingProtocol
+from repro.sim.engine import run
+from repro.sim.metrics import Recorder, Trajectory
+from repro.sim.parallel import RunSpec, replicate
+from repro.sim.trace import Trace, trajectory_to_dict, write_csv_series
+
+
+class TestRecorder:
+    def test_series_alignment(self, small_uniform):
+        recorder = Recorder(
+            potentials={"unsat": unsatisfied_count, "mass": violation_mass},
+            snapshot_every=2,
+        )
+        result = run(
+            small_uniform,
+            QoSSamplingProtocol(),
+            seed=3,
+            initial="pile",
+            recorder=recorder,
+        )
+        traj = result.trajectory
+        assert traj.n_unsatisfied.size == traj.n_moved.size == traj.n_attempted.size
+        assert traj.potentials["unsat"].size == traj.rounds
+        assert traj.potentials["mass"].size == traj.rounds
+        assert 0 in traj.load_snapshots
+        for snap in traj.load_snapshots.values():
+            assert snap.shape == (small_uniform.n_resources,)
+
+    def test_potential_every_repeats_values(self, small_uniform, rng):
+        from repro.core.state import State
+
+        recorder = Recorder(potentials={"u": unsatisfied_count}, potential_every=3)
+        state = State.worst_case_pile(small_uniform)
+        for r in range(6):
+            recorder.record(r, state, 0, 0)
+        traj = recorder.finalize()
+        # evaluated at rounds 0 and 3, repeated elsewhere
+        assert np.all(traj.potentials["u"] == traj.potentials["u"][0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Recorder(potential_every=0)
+        with pytest.raises(ValueError):
+            Recorder(snapshot_every=-1)
+
+
+class TestTrajectory:
+    def make(self, unsat):
+        n = len(unsat)
+        return Trajectory(
+            n_unsatisfied=np.asarray(unsat),
+            n_moved=np.ones(n, dtype=np.int64),
+            n_attempted=np.full(n, 2, dtype=np.int64),
+        )
+
+    def test_first_satisfying_round(self):
+        assert self.make([3, 2, 0, 0]).first_satisfying_round() == 2
+        assert self.make([3, 2, 1]).first_satisfying_round() is None
+
+    def test_summary(self):
+        s = self.make([2, 1, 0]).summary()
+        assert s["rounds"] == 3
+        assert s["total_moves"] == 3
+        assert s["total_attempts"] == 6
+        assert s["first_satisfying_round"] == 2
+
+
+class TestTrace:
+    def test_roundtrip(self, tmp_path, small_uniform):
+        spec = RunSpec(
+            generator="uniform_slack",
+            generator_kwargs={"n": 64, "m": 8, "slack": 0.3},
+            label="trace-test",
+        )
+        runs = replicate(spec, 3, base_seed=1)
+        trace = Trace.from_runs(spec, runs, note="hello")
+        path = trace.save(tmp_path / "trace.json")
+        loaded = Trace.load(path)
+        assert loaded.spec["generator"] == "uniform_slack"
+        assert loaded.meta["note"] == "hello"
+        assert len(loaded.results) == 3
+        rounds = loaded.values("rounds")
+        assert rounds.shape == (3,)
+        assert np.isfinite(rounds).all()
+        assert sum(loaded.status_counts().values()) == 3
+
+    def test_trajectory_serialization(self, small_uniform):
+        recorder = Recorder(potentials={"u": unsatisfied_count})
+        result = run(
+            small_uniform,
+            QoSSamplingProtocol(),
+            seed=3,
+            initial="pile",
+            recorder=recorder,
+        )
+        d = trajectory_to_dict(result)
+        assert isinstance(d["n_unsatisfied"], list)
+        assert isinstance(d["potentials"]["u"], list)
+        bare = run(small_uniform, QoSSamplingProtocol(), seed=3, initial="pile")
+        assert trajectory_to_dict(bare) is None
+
+    def test_values_handles_none(self):
+        trace = Trace(spec={}, results=[{"rounds": 3}, {"rounds": None}])
+        vals = trace.values("rounds")
+        assert vals[0] == 3.0 and np.isnan(vals[1])
+
+
+def test_write_csv_series(tmp_path):
+    path = write_csv_series(
+        tmp_path / "sub" / "series.csv",
+        ["n", "rounds"],
+        [[100, 5], [200, np.float64(6.5)]],
+    )
+    text = path.read_text().splitlines()
+    assert text[0] == "n,rounds"
+    assert text[1] == "100,5"
+    assert text[2] == "200,6.5"

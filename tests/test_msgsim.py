@@ -1,0 +1,207 @@
+"""Message-passing simulator: network semantics and protocol agents."""
+
+import numpy as np
+import pytest
+
+from repro.core.instance import Instance
+from repro.msgsim.agents import ResourceAgent, UserAgent, resource_id, user_id
+from repro.msgsim.messages import Join, Leave, LoadQuery, LoadReply, Tick
+from repro.msgsim.network import ConstantDelay, ExponentialDelay, Network
+from repro.msgsim.runner import run_message_sim
+from repro.core.latency import IdentityLatency
+from repro.core.instance import AccessMap
+from repro.core.latency import LatencyProfile
+
+
+class _Sink:
+    """Test agent that records everything it receives."""
+
+    def __init__(self, agent_id):
+        self.agent_id = agent_id
+        self.received = []
+
+    def handle(self, msg, network):
+        self.received.append((network.now, msg))
+
+
+class TestNetwork:
+    def test_fifo_by_time_with_sequence_tiebreak(self):
+        net = Network(delay_model=ConstantDelay(0.5), seed=0)
+        sink = _Sink("sink")
+        net.register(sink)
+        net.send("sink", Tick("a"))
+        net.send("sink", Tick("b"))
+        net.run(max_events=10)
+        assert [m.sender for _, m in sink.received] == ["a", "b"]
+
+    def test_unknown_agent_rejected(self):
+        net = Network(seed=0)
+        with pytest.raises(KeyError):
+            net.send("ghost", Tick("x"))
+
+    def test_duplicate_agent_rejected(self):
+        net = Network(seed=0)
+        net.register(_Sink("a"))
+        with pytest.raises(ValueError):
+            net.register(_Sink("a"))
+
+    def test_message_counting_excludes_timers(self):
+        net = Network(delay_model=ConstantDelay(0.1), seed=0)
+        sink = _Sink("sink")
+        net.register(sink)
+        net.send("sink", Tick("x"))
+        net.schedule_timer("sink", 0.2, Tick("timer"))
+        net.run(max_events=10)
+        assert net.total_messages == 1
+
+    def test_in_flight_moves_bookkeeping(self):
+        net = Network(delay_model=ConstantDelay(0.1), seed=0)
+        sink = _Sink("sink")
+        net.register(sink)
+        net.send("sink", Join("u", 1.0))
+        assert net.in_flight_moves == 1
+        net.run(max_events=10)
+        assert net.in_flight_moves == 0
+
+    def test_determinism(self):
+        def build():
+            net = Network(delay_model=ExponentialDelay(0.1), seed=9)
+            sink = _Sink("sink")
+            net.register(sink)
+            for i in range(10):
+                net.send("sink", Tick(str(i)))
+            net.run(max_events=100)
+            return [(t, m.sender) for t, m in sink.received]
+
+        assert build() == build()
+
+    def test_stop_condition(self):
+        net = Network(delay_model=ConstantDelay(0.01), seed=0)
+        sink = _Sink("sink")
+        net.register(sink)
+        for i in range(100):
+            net.send("sink", Tick(str(i)))
+        reason = net.run(stop_condition=lambda n: len(sink.received) >= 10, check_every=1)
+        assert reason == "stopped"
+        assert len(sink.received) >= 10
+
+    def test_max_time(self):
+        net = Network(delay_model=ConstantDelay(5.0), seed=0)
+        sink = _Sink("sink")
+        net.register(sink)
+        net.send("sink", Tick("x"))
+        assert net.run(max_time=1.0) == "max_time"
+
+
+class TestResourceAgent:
+    def test_load_query_replies(self):
+        net = Network(delay_model=ConstantDelay(0.01), seed=0)
+        res = ResourceAgent(0, IdentityLatency(), initial_load=3.0)
+        sink = _Sink("user:0")
+        net.register(res)
+        net.register(sink)
+        net.send(res.agent_id, LoadQuery("user:0", weight=1.0, probe=False))
+        net.send(res.agent_id, LoadQuery("user:0", weight=1.0, probe=True))
+        net.run(max_events=10)
+        replies = [m for _, m in sink.received if isinstance(m, LoadReply)]
+        own = next(r for r in replies if not r.probe)
+        probe = next(r for r in replies if r.probe)
+        assert own.latency == pytest.approx(3.0)
+        assert probe.latency == pytest.approx(4.0)
+
+    def test_join_leave_update_load(self):
+        net = Network(delay_model=ConstantDelay(0.01), seed=0)
+        res = ResourceAgent(0, IdentityLatency())
+        net.register(res)
+        net.send(res.agent_id, Join("user:0", 2.0))
+        net.send(res.agent_id, Leave("user:0", 2.0))
+        net.run(max_events=10)
+        assert res.load == pytest.approx(0.0)
+
+    def test_negative_load_detected(self):
+        net = Network(delay_model=ConstantDelay(0.01), seed=0)
+        res = ResourceAgent(0, IdentityLatency())
+        net.register(res)
+        net.send(res.agent_id, Leave("user:0", 2.0))
+        with pytest.raises(AssertionError):
+            net.run(max_events=10)
+
+
+class TestRunner:
+    def test_converges_on_generous_instance(self):
+        inst = Instance.identical_machines([4.0] * 32, 16)
+        result = run_message_sim(inst, seed=5, initial="pile", max_time=500.0)
+        assert result.status == "satisfying"
+        assert result.final_state.is_satisfying()
+        assert result.total_moves >= 1
+        result.final_state.check_invariants()
+
+    def test_user_conservation(self):
+        inst = Instance.identical_machines([3.0] * 24, 12)
+        result = run_message_sim(inst, seed=2, initial="random", max_time=300.0)
+        assert result.final_state.loads.sum() == pytest.approx(24)
+
+    def test_message_counts_present(self):
+        inst = Instance.identical_machines([4.0] * 16, 8)
+        result = run_message_sim(inst, seed=1, initial="pile", max_time=300.0)
+        assert result.total_messages == sum(result.message_counts.values())
+        assert result.message_counts.get("LoadQuery", 0) > 0
+        # every migration is one Leave + one Join (plus initial joins)
+        assert result.message_counts.get("Leave", 0) == result.total_moves
+        assert result.message_counts.get("Join", 0) == result.total_moves + 16
+
+    def test_determinism(self):
+        inst = Instance.identical_machines([4.0] * 16, 8)
+        a = run_message_sim(inst, seed=7, initial="pile", max_time=200.0)
+        b = run_message_sim(inst, seed=7, initial="pile", max_time=200.0)
+        assert a.time == b.time
+        assert a.total_messages == b.total_messages
+        assert list(a.final_state.assignment) == list(b.final_state.assignment)
+
+    def test_budget_statuses(self):
+        inst = Instance.identical_machines([2.0] * 12, 2)  # infeasible (12 > 4)
+        result = run_message_sim(inst, seed=3, initial="pile", max_time=5.0)
+        assert result.status in ("max_time", "max_events")
+        assert not result.converged
+
+    def test_rejects_restricted_access(self):
+        inst = Instance(
+            thresholds=np.asarray([2.0, 2.0]),
+            latencies=LatencyProfile.identical(2),
+            access=AccessMap([[0], [1]], 2),
+        )
+        with pytest.raises(NotImplementedError):
+            run_message_sim(inst)
+
+    def test_invalid_initial(self):
+        inst = Instance.identical_machines([4.0] * 4, 2)
+        with pytest.raises(ValueError):
+            run_message_sim(inst, initial="bogus")
+
+
+def test_agent_id_helpers():
+    assert user_id(3) == "user:3"
+    assert resource_id(2) == "res:2"
+
+
+def test_user_agent_skips_pipelined_ticks():
+    """A user mid-probe ignores extra ticks instead of double-probing."""
+    rng = np.random.default_rng(0)
+    net = Network(delay_model=ConstantDelay(10.0), seed=0)  # very slow links
+    res = ResourceAgent(0, IdentityLatency(), initial_load=5.0)
+    user = UserAgent(
+        0,
+        threshold=1.0,
+        weight=1.0,
+        initial_resource=0,
+        n_resources=1,
+        tick_interval=0.5,
+        tick_jitter=0.0,
+        rng=rng,
+    )
+    net.register(res)
+    net.register(user)
+    user.start(net)
+    net.run(max_time=5.0, max_events=100)
+    # several ticks passed but at most one probe can be outstanding
+    assert user.activations <= 2

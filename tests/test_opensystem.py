@@ -1,0 +1,124 @@
+"""Open-system churn runner."""
+
+import numpy as np
+import pytest
+
+from repro.core.protocols import PermitProtocol, QoSSamplingProtocol
+from repro.sim.opensystem import run_open_system
+
+
+def run_rho(rho, protocol=None, seed=1, rounds=300, warmup=80, m=16, q=8):
+    lam = rho * m * q * 0.05
+    return run_open_system(
+        m=m,
+        arrival_rate=lam,
+        departure_prob=0.05,
+        threshold_sampler=float(q),
+        protocol=protocol or QoSSamplingProtocol(),
+        rounds=rounds,
+        warmup=warmup,
+        seed=seed,
+    )
+
+
+def test_population_hovers_at_equilibrium():
+    result = run_rho(0.8)
+    target = 0.8 * 16 * 8
+    assert abs(result.mean_population - target) < 0.25 * target
+
+
+def test_underload_keeps_qos():
+    result = run_rho(0.5)
+    assert result.steady_satisfied_fraction > 0.97
+
+
+def test_overload_degrades_but_does_not_freeze():
+    result = run_rho(1.3, rounds=400)
+    assert 0.02 < result.steady_satisfied_fraction < 0.8
+
+
+def test_arrival_departure_accounting():
+    result = run_rho(0.7)
+    assert result.total_arrivals > 0
+    assert result.total_departures > 0
+    assert result.population.shape == (300,)
+    assert result.satisfied_fraction.shape == (300,)
+
+
+def test_threshold_sampler_callable():
+    def sampler(k, rng):
+        return rng.choice([4.0, 16.0], size=k)
+
+    result = run_open_system(
+        m=8,
+        arrival_rate=2.0,
+        departure_prob=0.1,
+        threshold_sampler=sampler,
+        protocol=PermitProtocol(),
+        rounds=100,
+        warmup=20,
+        seed=3,
+    )
+    assert 0.0 <= result.steady_satisfied_fraction <= 1.0
+
+
+def test_custom_latency():
+    from repro.core.latency import SpeedScaledLatency
+
+    result = run_open_system(
+        m=8,
+        arrival_rate=3.0,
+        departure_prob=0.1,
+        threshold_sampler=8.0,
+        protocol=QoSSamplingProtocol(),
+        latency=SpeedScaledLatency(2.0),
+        rounds=100,
+        warmup=20,
+        seed=4,
+    )
+    assert result.steady_satisfied_fraction > 0.9
+
+
+def test_population_extinction_is_handled():
+    result = run_open_system(
+        m=4,
+        arrival_rate=0.01,
+        departure_prob=1.0,  # everyone leaves each round
+        threshold_sampler=4.0,
+        protocol=QoSSamplingProtocol(),
+        rounds=50,
+        warmup=10,
+        initial_population=2,
+        seed=5,
+    )
+    assert np.any(result.population == 0)
+    # empty rounds count as fully satisfied (vacuously)
+    assert 0.0 <= result.steady_satisfied_fraction <= 1.0
+
+
+def test_determinism():
+    a = run_rho(0.9, seed=7)
+    b = run_rho(0.9, seed=7)
+    assert np.array_equal(a.population, b.population)
+    assert np.array_equal(a.satisfied_fraction, b.satisfied_fraction)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        run_rho(0.5, m=0)
+    with pytest.raises(ValueError):
+        run_open_system(
+            m=4, arrival_rate=-1, departure_prob=0.1,
+            threshold_sampler=4.0, protocol=QoSSamplingProtocol(),
+        )
+    with pytest.raises(ValueError):
+        run_open_system(
+            m=4, arrival_rate=1, departure_prob=0.0,
+            threshold_sampler=4.0, protocol=QoSSamplingProtocol(),
+        )
+    with pytest.raises(ValueError):
+        run_open_system(
+            m=4, arrival_rate=1, departure_prob=0.5,
+            threshold_sampler=4.0, protocol=QoSSamplingProtocol(),
+            rounds=10, warmup=10,
+        )

@@ -1,0 +1,91 @@
+"""Replication runner: determinism, spec plumbing, process pools."""
+
+import numpy as np
+import pytest
+
+from repro.sim.parallel import RunSpec, replicate, run_spec
+
+
+def spec(**over):
+    base = dict(
+        generator="uniform_slack",
+        generator_kwargs={"n": 128, "m": 8, "slack": 0.3},
+        protocol="qos-sampling",
+        initial="pile",
+        max_rounds=5000,
+        label="par-test",
+    )
+    base.update(over)
+    return RunSpec(**base)
+
+
+def test_serial_replication_deterministic():
+    a = replicate(spec(), 4, base_seed=7, workers=0)
+    b = replicate(spec(), 4, base_seed=7, workers=0)
+    assert [r.rounds for r in a] == [r.rounds for r in b]
+    assert [r.total_moves for r in a] == [r.total_moves for r in b]
+
+
+def test_replications_are_independent():
+    results = replicate(spec(), 8, base_seed=7)
+    moves = {r.total_moves for r in results}
+    assert len(moves) > 1  # different seeds -> different trajectories
+
+
+def test_base_seed_changes_results():
+    a = replicate(spec(), 4, base_seed=1)
+    b = replicate(spec(), 4, base_seed=2)
+    assert [r.total_moves for r in a] != [r.total_moves for r in b]
+
+
+def test_run_spec_builds_everything():
+    result = run_spec(
+        spec(
+            protocol="neighborhood",
+            protocol_kwargs={"topology": "ring", "m": 8},
+            schedule="alpha",
+            schedule_kwargs={"alpha": 0.5},
+        ),
+        seed=3,
+    )
+    assert result.status in ("satisfying", "quiescent")
+    assert result.schedule["name"] == "alpha(0.5)"
+
+
+def test_per_rep_instance_seeding():
+    # zipf draws thresholds from its rng: per-rep seeding must vary them,
+    # fixed seeding must not.  Convergence rounds are a proxy.
+    base = dict(
+        generator="zipf_thresholds",
+        generator_kwargs={"n": 100, "m": 8},
+        initial="pile",
+        max_rounds=5000,
+        label="per-rep",
+    )
+    fixed = replicate(RunSpec(**base, instance_seed_key="fixed"), 3, base_seed=1)
+    per_rep = replicate(RunSpec(**base, instance_seed_key="per-rep"), 3, base_seed=1)
+    assert len(fixed) == len(per_rep) == 3
+    # both run; can't easily introspect the instance, but seeds must differ
+    # -> allow either; the main assertion is that the plumbing works.
+    for r in fixed + per_rep:
+        assert r.n_users == 100
+
+
+def test_replicate_validation():
+    with pytest.raises(ValueError):
+        replicate(spec(), 0)
+
+
+@pytest.mark.slow
+def test_process_pool_matches_serial():
+    serial = replicate(spec(), 3, base_seed=5, workers=0)
+    pooled = replicate(spec(), 3, base_seed=5, workers=2)
+    assert [r.rounds for r in serial] == [r.rounds for r in pooled]
+    assert [r.total_moves for r in serial] == [r.total_moves for r in pooled]
+
+
+def test_describe_roundtrip():
+    d = spec().describe()
+    assert d["generator"] == "uniform_slack"
+    assert d["protocol"] == "qos-sampling"
+    assert d["max_rounds"] == 5000

@@ -1,0 +1,91 @@
+"""Registry plumbing: names resolve, unknowns fail loudly."""
+
+import pytest
+
+from repro.core.protocols import (
+    AdaptiveBackoffRate,
+    ConstantRate,
+    Protocol,
+    SlackProportionalRate,
+)
+from repro.registry import (
+    GENERATORS,
+    PROTOCOLS,
+    SCHEDULES,
+    build_instance,
+    build_protocol,
+    build_rate,
+    build_schedule,
+)
+
+
+def test_every_registered_protocol_builds():
+    for name in PROTOCOLS:
+        kwargs = {}
+        if name == "neighborhood":
+            kwargs = {"topology": "ring", "m": 8}
+        proto = build_protocol(name, **kwargs)
+        assert isinstance(proto, Protocol)
+
+
+def test_every_registered_schedule_builds():
+    for name, kwargs in [
+        ("synchronous", {}),
+        ("alpha", {"alpha": 0.5}),
+        ("partition", {"k": 3}),
+        ("staggered", {}),
+    ]:
+        assert name in SCHEDULES
+        build_schedule(name, **kwargs)
+
+
+def test_every_registered_generator_builds():
+    small = {
+        "uniform_slack": {"n": 16, "m": 4},
+        "tight_uniform": {"n": 16, "m": 4},
+        "two_class": {
+            "n_demanding": 2,
+            "q_demanding": 2.0,
+            "n_tolerant": 10,
+            "q_tolerant": 8.0,
+            "m": 4,
+        },
+        "zipf_thresholds": {"n": 16, "m": 4},
+        "overloaded": {"n": 30, "m": 4, "q": 4.0},
+        "related_speeds": {"n": 16, "m": 4},
+        "mm1_farm": {"n": 16, "m": 4},
+        "polynomial_farm": {"n": 16, "m": 4},
+        "weighted_uniform": {"n": 16, "m": 4},
+        "random_access": {"n": 16, "m": 4, "degree": 2},
+    }
+    assert set(small) == set(GENERATORS)
+    for name, kwargs in small.items():
+        inst = build_instance(name, **kwargs)
+        assert inst.n_users > 0 and inst.n_resources == 4
+
+
+def test_build_rate_specs():
+    assert build_rate(None) is None
+    assert isinstance(build_rate({"name": "const", "p": 0.25}), ConstantRate)
+    assert isinstance(
+        build_rate({"name": "slack-proportional"}), SlackProportionalRate
+    )
+    assert isinstance(
+        build_rate({"name": "adaptive-backoff", "p0": 0.5}), AdaptiveBackoffRate
+    )
+    passthrough = ConstantRate(0.5)
+    assert build_rate(passthrough) is passthrough
+
+
+def test_rate_spec_threads_into_protocol():
+    proto = build_protocol("qos-sampling", rate={"name": "const", "p": 0.125})
+    assert proto.rate.p == 0.125
+
+
+def test_unknown_names_raise():
+    with pytest.raises(KeyError):
+        build_protocol("nope")
+    with pytest.raises(KeyError):
+        build_schedule("nope")
+    with pytest.raises(KeyError):
+        build_instance("nope")

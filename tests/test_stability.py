@@ -1,0 +1,173 @@
+"""Stability: blocked users, polite vs selfish, generosity theorems."""
+
+import numpy as np
+import pytest
+
+from repro.core.feasibility import is_feasible
+from repro.core.instance import AccessMap, Instance
+from repro.core.latency import LatencyProfile
+from repro.core.stability import (
+    blocked_mask,
+    deadlock_free_users,
+    improvable_users,
+    is_generous,
+    is_stable,
+    satisfied_resident_min,
+)
+from repro.core.state import State
+
+from conftest import random_small_instance
+
+
+def reference_blocked_mask(state, polite=False):
+    """Straightforward per-user re-implementation used as an oracle."""
+    inst = state.instance
+    res_min = satisfied_resident_min(state)
+    out = np.zeros(inst.n_users, dtype=bool)
+    sat = state.satisfied_mask()
+    for u in range(inst.n_users):
+        if sat[u]:
+            continue
+        can = False
+        for r in inst.accessible(u):
+            if r == state.assignment[u]:
+                continue
+            lat = float(
+                inst.latencies.evaluate_at(
+                    np.asarray([r]), np.asarray([state.loads[r] + inst.weights[u]])
+                )[0]
+            )
+            if lat <= inst.thresholds[u] and (not polite or lat <= res_min[r]):
+                can = True
+                break
+        out[u] = not can
+    return out
+
+
+@pytest.mark.parametrize("polite", [False, True])
+def test_blocked_mask_matches_reference_on_random_states(polite):
+    rng = np.random.default_rng(99)
+    for _ in range(60):
+        inst = random_small_instance(rng, max_n=8, max_m=4, max_q=6)
+        state = State.uniform_random(inst, rng)
+        got = blocked_mask(state, polite=polite)
+        want = reference_blocked_mask(state, polite=polite)
+        assert np.array_equal(got, want), (inst.thresholds, state.assignment)
+
+
+@pytest.mark.parametrize("polite", [False, True])
+def test_blocked_mask_matches_reference_with_access_maps(polite):
+    rng = np.random.default_rng(17)
+    for _ in range(40):
+        n = int(rng.integers(2, 7))
+        m = int(rng.integers(2, 5))
+        allowed = [
+            sorted(rng.choice(m, size=int(rng.integers(1, m + 1)), replace=False))
+            for _ in range(n)
+        ]
+        inst = Instance(
+            thresholds=rng.integers(1, 6, size=n).astype(np.float64),
+            latencies=LatencyProfile.identical(m),
+            access=AccessMap(allowed, m),
+        )
+        state = State.uniform_random(inst, rng)
+        got = blocked_mask(state, polite=polite)
+        want = reference_blocked_mask(state, polite=polite)
+        assert np.array_equal(got, want)
+
+
+def test_trap_state_is_stable_but_not_satisfying(trap_state):
+    assert not trap_state.is_satisfying()
+    assert is_stable(trap_state)
+    assert is_stable(trap_state, polite=True)
+    assert list(improvable_users(trap_state)) == []
+    blocked = blocked_mask(trap_state)
+    assert blocked[0] and not blocked[1:].any()
+
+
+def test_trap_instance_is_feasible(trap_instance):
+    assert is_feasible(trap_instance)
+
+
+def test_satisfying_state_is_stable(small_uniform):
+    state = State(small_uniform, np.asarray([0, 1, 2, 3] * 3))
+    assert state.is_satisfying()
+    assert is_stable(state)
+
+
+def test_polite_stability_is_weaker():
+    """A state can be polite-stable while selfishly unstable."""
+    # q = [2, 2, 3]; r0 = {u0, u1} (load 2, both satisfied), r1 = {u2}?? —
+    # build: u2 with q=3 on r1 alone... needs an unsatisfied user whose only
+    # satisfying move breaks a tight resident.
+    # u0 q=2 and u1 q=2 sit on r0 (load 2, satisfied, tight).
+    # u2 q=3 and u3 q=1 on r1 (load 2): u3 unsatisfied (2 > 1).
+    # u3's moves: r0 at load 3 > 1 — not satisfying at all. Make u3 q=2.9:
+    # r0 at 2+1=3 > 2.9 no. Use m=3 with r2 occupied: simpler direct case:
+    inst = Instance.identical_machines(np.asarray([2.0, 2.0, 3.0]), 2)
+    # r0 = {u0, u1} both satisfied at load 2 (tight); r1 = {u2} satisfied.
+    # Now make u2 unsatisfied by moving it to r0? Then load 3 breaks all.
+    state = State(inst, np.asarray([0, 0, 0]))
+    # u2 (q=3) satisfied at load 3; u0, u1 unsatisfied (3 > 2).
+    # Their selfish move to r1 (0+1 <= 2) is also polite (no residents).
+    assert not is_stable(state)
+    assert not is_stable(state, polite=True)
+    # After one of them moves, the other can follow; build the state where
+    # politeness binds: u0 on r1 alone (sat), u1 and u2 on r0 (load 2).
+    state2 = State(inst, np.asarray([1, 0, 0]))
+    # all satisfied: u0 (1<=2), u1 (2<=2), u2 (2<=3) -> stable trivially.
+    assert state2.is_satisfying()
+    # Politeness-binding case: u_new q=2 unsatisfied on r0 (load 3) whose
+    # only target r1 hosts a tight q=1... construct explicitly:
+    inst3 = Instance.identical_machines(np.asarray([1.0, 2.0, 9.0, 9.0]), 2)
+    # r0 = {q9, q9, q2}: load 3 -> q2 user unsatisfied; r1 = {q1}: satisfied.
+    state3 = State(inst3, np.asarray([1, 0, 0, 0]))
+    assert not state3.satisfied_mask()[1]
+    # selfish: q2 user can move to r1 (1+1 = 2 <= 2) — unstable selfishly;
+    # polite: that move breaks the q1 resident (2 > 1) — polite-stable.
+    assert not is_stable(state3)
+    assert is_stable(state3, polite=True)
+
+
+def test_deadlock_free_users_and_generosity():
+    inst = Instance.identical_machines(np.asarray([3.0, 3.0, 12.0]), 4)
+    free = deadlock_free_users(inst)
+    # m*floor(q) >= n: 4*3 = 12 >= 3 for everyone.
+    assert free.all()
+    assert is_generous(inst)
+
+    tight = Instance.identical_machines(np.asarray([1.0] * 8), 4)
+    # m*floor(q) = 4 < 8.
+    assert not deadlock_free_users(tight).any()
+    assert not is_generous(tight)
+
+
+def test_generous_instances_have_no_stable_unsatisfying_state():
+    """Exhaustive check of the generosity theorem on small instances."""
+    from itertools import product
+
+    rng = np.random.default_rng(5)
+    checked = 0
+    while checked < 25:
+        inst = random_small_instance(rng, max_n=5, max_m=3, max_q=6)
+        if not is_generous(inst):
+            continue
+        checked += 1
+        for cand in product(range(inst.n_resources), repeat=inst.n_users):
+            state = State(inst, np.asarray(cand, dtype=np.int64))
+            if is_stable(state):
+                assert state.is_satisfying(), (inst.thresholds, cand)
+
+
+def test_deadlock_free_requires_identical_machines(related_instance):
+    with pytest.raises(NotImplementedError):
+        deadlock_free_users(related_instance)
+
+
+def test_satisfied_resident_min(small_uniform):
+    state = State(small_uniform, np.asarray([0] * 6 + [1] * 6))
+    # r0 load 6 > 4: no satisfied residents -> inf; r1 load 6 -> inf too.
+    res_min = satisfied_resident_min(state)
+    assert np.isinf(res_min).all()
+    state2 = State(small_uniform, np.asarray([0, 1, 2, 3] * 3))
+    assert list(satisfied_resident_min(state2)) == [4.0, 4.0, 4.0, 4.0]

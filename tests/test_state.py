@@ -1,0 +1,175 @@
+"""Unit tests for State: loads, satisfaction queries, migrations."""
+
+import numpy as np
+import pytest
+
+from repro.core.instance import AccessMap, Instance
+from repro.core.latency import LatencyProfile
+from repro.core.state import State
+
+from conftest import assert_valid_state
+
+
+def test_loads_match_assignment(small_uniform):
+    state = State(small_uniform, np.asarray([0] * 6 + [1] * 3 + [2] * 3))
+    assert list(state.loads) == [6, 3, 3, 0]
+    assert_valid_state(state)
+
+
+def test_assignment_validation(small_uniform):
+    with pytest.raises(ValueError):
+        State(small_uniform, np.zeros(5, dtype=np.int64))
+    with pytest.raises(ValueError):
+        State(small_uniform, np.full(12, 7, dtype=np.int64))
+
+
+def test_access_enforced():
+    inst = Instance(
+        thresholds=np.asarray([2.0, 2.0]),
+        latencies=LatencyProfile.identical(2),
+        access=AccessMap([[0], [1]], 2),
+    )
+    with pytest.raises(ValueError):
+        State(inst, np.asarray([1, 1]))
+    state = State(inst, np.asarray([0, 1]))
+    assert_valid_state(state)
+
+
+def test_satisfaction_queries(small_uniform):
+    # loads: r0=6 (> q=4, unsat), r1=3, r2=3.
+    state = State(small_uniform, np.asarray([0] * 6 + [1] * 3 + [2] * 3))
+    mask = state.satisfied_mask()
+    assert not mask[:6].any()
+    assert mask[6:].all()
+    assert state.n_satisfied == 6
+    assert state.n_unsatisfied == 6
+    assert not state.is_satisfying()
+    assert list(state.unsatisfied_users()) == list(range(6))
+    slack = state.slack_per_user()
+    assert slack[0] == pytest.approx(-2.0)
+    assert slack[6] == pytest.approx(1.0)
+
+
+def test_would_satisfy_semantics(small_uniform):
+    state = State(small_uniform, np.asarray([0] * 6 + [1] * 3 + [2] * 3))
+    users = np.asarray([0, 0, 0])
+    targets = np.asarray([1, 3, 0])
+    out = state.would_satisfy(users, targets)
+    # r1: 3+1=4 <= 4 OK; r3: 0+1 <= 4 OK; own resource r0: load stays 6 > 4.
+    assert list(out) == [True, True, False]
+
+
+def test_would_satisfy_own_resource_no_self_weight(small_uniform):
+    # A satisfied user probing its own resource sees its current latency.
+    state = State(small_uniform, np.asarray([0] * 4 + [1] * 4 + [2] * 4))
+    out = state.would_satisfy(np.asarray([0]), np.asarray([0]))
+    assert out[0]  # load 4 <= q=4 — would be False if it double-counted
+
+
+def test_would_satisfy_weighted():
+    inst = Instance(
+        thresholds=np.asarray([4.0, 4.0]),
+        latencies=LatencyProfile.identical(2),
+        weights=np.asarray([3.0, 2.0]),
+    )
+    state = State(inst, np.asarray([0, 0]))  # load r0 = 5
+    # user 0 (w=3) moving to empty r1: 0+3 <= 4 OK; user 1 (w=2): 0+2 <= 4 OK.
+    assert list(state.would_satisfy(np.asarray([0, 1]), np.asarray([1, 1]))) == [
+        True,
+        True,
+    ]
+    # back on r0 the remaining load after a hypothetical... own-resource probe
+    # keeps the full load 5 > 4:
+    assert not state.would_satisfy(np.asarray([0]), np.asarray([0]))[0]
+
+
+def test_apply_migrations_simultaneous(small_uniform):
+    state = State(small_uniform, np.asarray([0] * 12))
+    users = np.arange(8)
+    targets = np.asarray([1, 1, 1, 2, 2, 2, 3, 3])
+    moved = state.apply_migrations(users, targets)
+    assert moved == 8
+    assert list(state.loads) == [4, 3, 3, 2]
+    assert_valid_state(state)
+
+
+def test_apply_migrations_ignores_self_moves(small_uniform):
+    state = State(small_uniform, np.asarray([0] * 12))
+    moved = state.apply_migrations(np.asarray([0, 1]), np.asarray([0, 1]))
+    assert moved == 1
+    assert state.loads[1] == 1
+
+
+def test_apply_migrations_duplicate_user_rejected(small_uniform):
+    state = State(small_uniform, np.asarray([0] * 12))
+    with pytest.raises(ValueError):
+        state.apply_migrations(np.asarray([0, 0]), np.asarray([1, 2]))
+
+
+def test_apply_migrations_empty(small_uniform):
+    state = State(small_uniform, np.asarray([0] * 12))
+    assert state.apply_migrations(np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)) == 0
+
+
+def test_move_user(small_uniform):
+    state = State(small_uniform, np.asarray([0] * 12))
+    assert state.move_user(3, 2)
+    assert not state.move_user(3, 2)  # already there
+    assert state.loads[2] == 1
+    with pytest.raises(ValueError):
+        state.move_user(3, 9)
+    assert_valid_state(state)
+
+
+def test_uniform_random_respects_access(rng):
+    inst = Instance(
+        thresholds=np.asarray([2.0, 2.0, 2.0]),
+        latencies=LatencyProfile.identical(3),
+        access=AccessMap([[0], [1, 2], [2]], 3),
+    )
+    for _ in range(20):
+        state = State.uniform_random(inst, rng)
+        assert_valid_state(state)
+
+
+def test_worst_case_pile(small_uniform):
+    state = State.worst_case_pile(small_uniform, resource=2)
+    assert state.loads[2] == 12
+    assert state.n_satisfied == 0
+    with pytest.raises(ValueError):
+        State.worst_case_pile(small_uniform, resource=9)
+
+
+def test_worst_case_pile_with_access():
+    inst = Instance(
+        thresholds=np.asarray([2.0, 2.0]),
+        latencies=LatencyProfile.identical(2),
+        access=AccessMap([[0], [0, 1]], 2),
+    )
+    state = State.worst_case_pile(inst, resource=1)
+    # user 0 cannot reach resource 1; it lands on its first accessible one.
+    assert state.assignment[0] == 0
+    assert state.assignment[1] == 1
+
+
+def test_copy_is_independent(small_uniform):
+    state = State(small_uniform, np.asarray([0] * 12))
+    clone = state.copy()
+    clone.move_user(0, 1)
+    assert state.loads[1] == 0
+    assert clone.loads[1] == 1
+    assert state != clone
+    assert state == State(small_uniform, np.asarray([0] * 12))
+
+
+def test_state_unhashable(small_uniform):
+    state = State(small_uniform, np.asarray([0] * 12))
+    with pytest.raises(TypeError):
+        hash(state)
+
+
+def test_check_invariants_catches_corruption(small_uniform):
+    state = State(small_uniform, np.asarray([0] * 12))
+    state.loads[0] -= 1  # corrupt
+    with pytest.raises(AssertionError):
+        state.check_invariants()

@@ -1,0 +1,78 @@
+"""ASCII visualisation primitives."""
+
+import numpy as np
+import pytest
+
+from repro.viz import bar_chart, histogram, line_chart, sparkline
+
+
+class TestSparkline:
+    def test_shape_and_levels(self):
+        s = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+        assert len(s) == 8
+        assert s[0] == "▁" and s[-1] == "█"
+
+    def test_constant_series(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_nan_renders_blank(self):
+        s = sparkline([1.0, float("nan"), 3.0])
+        assert s[1] == " "
+
+    def test_pinned_scale(self):
+        s = sparkline([0.5], lo=0.0, hi=1.0)
+        assert s in "▃▄▅"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            sparkline([])
+
+
+class TestLineChart:
+    def test_single_series(self):
+        text = line_chart(np.linspace(0, 1, 100), width=20, height=5, title="t")
+        lines = text.splitlines()
+        assert lines[0] == "t"
+        assert len(lines) >= 7  # title + 5 rows + axis
+        assert "1" in lines[1]  # max label at top
+
+    def test_multi_series_legend(self):
+        text = line_chart(
+            {"a": [1, 2, 3], "b": [3, 2, 1]}, width=12, height=4
+        )
+        assert "* a" in text and "+ b" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            line_chart({}, width=20)
+        with pytest.raises(ValueError):
+            line_chart([1, 2], width=4, height=2)
+
+    def test_flat_series(self):
+        text = line_chart([2.0, 2.0, 2.0], width=10, height=3)
+        assert "*" in text
+
+
+class TestHistogram:
+    def test_counts_sum(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(size=500)
+        text = histogram(data, bins=5)
+        counts = [int(line.rsplit(" ", 1)[1]) for line in text.splitlines()]
+        assert sum(counts) == 500
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            histogram([float("nan")])
+
+
+class TestBarChart:
+    def test_bars_scale(self):
+        text = bar_chart(["x", "yy"], [1.0, 2.0], width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_label_mismatch(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])

@@ -1,0 +1,114 @@
+"""Weighted users end-to-end: the simulator supports arbitrary weights.
+
+The exact feasibility theory is unit-weight only (and says so); these
+tests cover the *dynamics* with weights: conservation, conservative
+checks, protocol convergence and the permit protocol's monotonicity.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.instance import Instance
+from repro.core.latency import LatencyProfile
+from repro.core.protocols import PermitProtocol, QoSSamplingProtocol
+from repro.core.stability import blocked_mask, is_stable
+from repro.core.state import State
+from repro.msgsim.runner import run_message_sim
+from repro.sim.engine import run
+from repro.workloads.generators import weighted_uniform
+
+
+@pytest.fixture
+def weighted_inst():
+    return weighted_uniform(120, 8, slack=0.4, rng=3)
+
+
+def test_weight_conservation_through_dynamics(weighted_inst):
+    result = run(
+        weighted_inst,
+        QoSSamplingProtocol(),
+        seed=1,
+        initial="pile",
+        max_rounds=20_000,
+        keep_state=True,
+    )
+    total = weighted_inst.weights.sum()
+    assert result.final_state.loads.sum() == pytest.approx(total)
+    result.final_state.check_invariants()
+
+
+def test_sampling_converges_on_weighted_instance(weighted_inst):
+    result = run(
+        weighted_inst, QoSSamplingProtocol(), seed=2, initial="pile",
+        max_rounds=50_000,
+    )
+    assert result.converged
+    assert result.satisfied_fraction > 0.95
+
+
+def test_permit_monotone_with_weights(weighted_inst, rng):
+    state = State.uniform_random(weighted_inst, rng)
+    proto = PermitProtocol()
+    proto.reset(weighted_inst, rng)
+    prev = state.satisfied_mask().copy()
+    for _ in range(40):
+        proto.step(state, np.ones(weighted_inst.n_users, dtype=bool), rng)
+        sat = state.satisfied_mask()
+        assert not np.any(prev & ~sat)
+        prev = sat.copy()
+
+
+def test_blocked_mask_groups_by_weight():
+    # Two weight classes: the heavy user needs more room than the light.
+    inst = Instance(
+        thresholds=np.asarray([4.0, 4.0, 9.0, 9.0, 9.0]),
+        latencies=LatencyProfile.identical(2),
+        weights=np.asarray([3.0, 1.0, 2.0, 2.0, 2.0]),
+    )
+    # r0 = {u2,u3,u4} load 6; r1 = {u0,u1} load 4: u0 (q=4, w=3) satisfied
+    # (4 <= 4)?  yes.  Make r1 = {u0 (w=3), u1 (w=1)} load 4: u0 and u1
+    # satisfied.  r0 load 6 <= 9 satisfied.  Pile instead:
+    state = State(inst, np.asarray([0, 0, 0, 0, 0]))
+    # load 11 > everyone.  u0 (w=3): r1 at 0+3 = 3 <= 4: not blocked.
+    # u1 (w=1): 0+1 <= 4: not blocked.
+    blocked = blocked_mask(state)
+    assert not blocked.any()
+    # Fill r1 to 2: u0 would see 2+3 = 5 > 4 -> blocked; u1 sees 3 <= 4.
+    state2 = State(inst, np.asarray([0, 0, 0, 1, 0]))
+    # r0 load 9 > 4 for u0, u1; r1 load 2.
+    blocked2 = blocked_mask(state2)
+    assert blocked2[0]  # heavy user stuck
+    assert not blocked2[1]  # light user fits
+
+
+def test_is_stable_with_weights():
+    inst = Instance(
+        thresholds=np.asarray([2.0, 8.0, 8.0]),
+        latencies=LatencyProfile.identical(2),
+        weights=np.asarray([2.0, 3.0, 3.0]),
+    )
+    # r0 = {u1, u2} load 6, r1 = {u0} load 2: everyone satisfied -> stable.
+    state = State(inst, np.asarray([1, 0, 0]))
+    assert state.is_satisfying() and is_stable(state)
+    # u0 on r0 too: load 8 > 2 for u0; its move to r1: 0+2 = 2 <= 2: unstable.
+    pile = State(inst, np.asarray([0, 0, 0]))
+    assert not is_stable(pile)
+
+
+def test_message_sim_supports_weights(weighted_inst):
+    result = run_message_sim(
+        weighted_inst, seed=4, initial="pile", max_time=2000.0
+    )
+    assert result.status == "satisfying"
+    assert result.final_state.loads.sum() == pytest.approx(
+        weighted_inst.weights.sum()
+    )
+
+
+def test_exact_theory_refuses_weights(weighted_inst):
+    from repro.core.feasibility import greedy_assignment, segment_dp_assignment
+
+    with pytest.raises(NotImplementedError):
+        greedy_assignment(weighted_inst)
+    with pytest.raises(NotImplementedError):
+        segment_dp_assignment(weighted_inst)

@@ -1,0 +1,122 @@
+"""Weighted feasibility heuristics: FFD construction and volume bound."""
+
+import numpy as np
+import pytest
+
+from repro.core.feasibility import brute_force_assignment, greedy_assignment
+from repro.core.instance import AccessMap, Instance
+from repro.core.latency import LatencyProfile
+from repro.core.weighted import (
+    first_fit_decreasing,
+    weighted_capacity_bound,
+    weighted_feasibility,
+)
+from repro.workloads.generators import weighted_uniform
+
+from conftest import random_small_instance
+
+
+def weighted_instance(thresholds, weights, m):
+    return Instance(
+        thresholds=np.asarray(thresholds, dtype=np.float64),
+        latencies=LatencyProfile.identical(m),
+        weights=np.asarray(weights, dtype=np.float64),
+    )
+
+
+class TestFFD:
+    def test_builds_satisfying_state_on_generated_instances(self):
+        for seed in range(10):
+            inst = weighted_uniform(80, 8, slack=0.3, rng=seed)
+            state = first_fit_decreasing(inst)
+            assert state is not None
+            assert state.is_satisfying()
+            state.check_invariants()
+
+    def test_agrees_with_exact_theory_on_unit_weights(self):
+        rng = np.random.default_rng(3)
+        for _ in range(60):
+            inst = random_small_instance(rng, max_n=7, max_m=3, max_q=7)
+            exact = greedy_assignment(inst).feasible
+            ffd = first_fit_decreasing(inst)
+            if ffd is not None:
+                # witnesses are sound
+                assert exact
+            # FFD is a heuristic: it may fail on feasible instances, but on
+            # these small identical-machine instances it rarely does —
+            # track soundness only (no completeness claim).
+
+    def test_big_items_first_solves_packing_case(self):
+        # weights [3, 3, 2, 2, 2] into two bins of capacity 6 (q = 6):
+        # FFD places 3+3 and 2+2+2.
+        inst = weighted_instance([6.0] * 5, [3, 3, 2, 2, 2], 2)
+        state = first_fit_decreasing(inst)
+        assert state is not None
+        assert sorted(state.loads.tolist()) == [6.0, 6.0]
+
+    def test_demanding_users_get_room(self):
+        # One user needs near-exclusive use (q = 1, w = 1); tolerant crowd
+        # must be packed away from it.
+        inst = weighted_instance([1.0] + [10.0] * 6, [1.0] * 7, 2)
+        state = first_fit_decreasing(inst)
+        assert state is not None
+        assert state.is_satisfying()
+
+    def test_respects_access_maps(self):
+        inst = Instance(
+            thresholds=np.asarray([2.0, 2.0, 2.0]),
+            latencies=LatencyProfile.identical(3),
+            weights=np.asarray([2.0, 2.0, 2.0]),
+            access=AccessMap([[0], [1], [2]], 3),
+        )
+        state = first_fit_decreasing(inst)
+        assert state is not None
+        assert list(np.sort(state.assignment)) == [0, 1, 2]
+
+    def test_returns_none_when_stuck(self):
+        inst = weighted_instance([1.0, 1.0, 1.0], [1.0, 1.0, 1.0], 2)
+        assert first_fit_decreasing(inst) is None
+
+
+class TestVolumeBound:
+    def test_violated_bound_detects_infeasibility(self):
+        # total weight 10 > m*q = 2*4 = 8.
+        inst = weighted_instance([4.0] * 5, [2.0] * 5, 2)
+        assert not weighted_capacity_bound(inst)
+
+    def test_level_wise_violation(self):
+        # demanding users (q=1) alone overflow the level-1 capacity.
+        inst = weighted_instance([1.0, 1.0, 1.0, 9.0], [1.0] * 4, 2)
+        assert not weighted_capacity_bound(inst)
+
+    def test_feasible_instances_pass(self):
+        inst = weighted_uniform(60, 8, slack=0.3, rng=1)
+        assert weighted_capacity_bound(inst)
+
+
+class TestVerdict:
+    def test_feasible_verdict_carries_witness(self):
+        inst = weighted_uniform(60, 8, slack=0.3, rng=2)
+        verdict = weighted_feasibility(inst)
+        assert verdict.verdict == "feasible"
+        assert verdict.is_feasible is True
+        assert verdict.state is not None and verdict.state.is_satisfying()
+
+    def test_infeasible_verdict(self):
+        inst = weighted_instance([4.0] * 5, [2.0] * 5, 2)
+        verdict = weighted_feasibility(inst)
+        assert verdict.verdict == "infeasible"
+        assert verdict.is_feasible is False
+
+    def test_unknown_band_exists(self):
+        """A bound-satisfying instance FFD cannot solve (packing gap)."""
+        # bins of size 4 (q = 4), items [3, 3, 2, 2, 2]: volume 12 = 3*4
+        # needs a perfect 3-partition [3+... no: 3 bins of 4 from
+        # {3,3,2,2,2} -> impossible (3+2 = 5 > 4, 3 alone wastes 1, total
+        # waste 2 > 0).  Volume bound passes, FFD fails, truth: infeasible
+        # but the verdict honestly reports unknown.
+        inst = weighted_instance([4.0] * 5, [3, 3, 2, 2, 2], 3)
+        verdict = weighted_feasibility(inst)
+        assert verdict.verdict in ("unknown", "feasible")
+        if verdict.verdict == "feasible":
+            assert verdict.state.is_satisfying()
