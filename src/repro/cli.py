@@ -227,7 +227,7 @@ def main(argv: list[str] | None = None) -> int:
     sub.add_parser("list", help="list the experiment suite").set_defaults(fn=_cmd_list)
 
     p_run = sub.add_parser("run", help="run one experiment")
-    p_run.add_argument("experiment", help="experiment id (F1..F9, T1..T4)")
+    p_run.add_argument("experiment", help="experiment id (F1..F13, T1..T5)")
     p_run.add_argument("--scale", choices=("ci", "full"), default="ci")
     p_run.add_argument("--out", help="directory for .txt/.json outputs")
     p_run.add_argument("--workers", type=int, default=None, help="process pool size")

@@ -17,7 +17,7 @@ from .common import ExperimentResult, cell, convergence_stats
 from .extensions import f10_multi_probe, f11_fluid_limit, f12_churn
 from .heterogeneity import f4_hetero_users, f5_hetero_resources, t2_infeasible
 from .protocols_table import f6_rate_ablation, t1_protocols
-from .robustness import f7_asynchrony, f8_failures, f9_topology
+from .robustness import f7_asynchrony, f8_failures, f9_topology, f13_msg_loss
 from .scaling import f1_scaling_n, f2_slack, f3_scaling_m
 from .validation import t3_msgsim, t4_drift_and_oblivious, t5_tail
 
@@ -40,6 +40,7 @@ __all__ = [
     "f10_multi_probe",
     "f11_fluid_limit",
     "f12_churn",
+    "f13_msg_loss",
     "t1_protocols",
     "t2_infeasible",
     "t3_msgsim",
@@ -156,6 +157,13 @@ EXPERIMENTS: dict[str, ExperimentDef] = {
         "steady-state QoS under churn vs offered load (extension)",
         ci={"rhos": (0.6, 0.95, 1.2), "m": 16, "q": 8, "rounds": 300, "warmup": 80, "n_reps": 3},
         full={"n_reps": 10},
+    ),
+    "F13": ExperimentDef(
+        "F13",
+        f13_msg_loss,
+        "self-healing message protocol under loss/duplication/reordering",
+        ci={"p_losses": (0.0, 0.05, 0.2), "n": 96, "m": 8, "n_reps": 3, "max_time": 600.0},
+        full={"n": 512, "m": 32, "n_reps": 10},
     ),
     "T1": ExperimentDef(
         "T1",

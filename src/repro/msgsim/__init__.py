@@ -4,6 +4,11 @@ The round-based engine (:mod:`repro.sim`) is a fast global-view simulation.
 This package is the ground truth it is validated against: user and resource
 agents that communicate *only* through messages over delayed channels,
 with no shared memory (experiment T3 cross-validates the two).
+
+:mod:`repro.msgsim.faults` turns the perfect transport into an adversary —
+message loss, duplication, reordering, partitions, crashes — and the
+agents answer with a self-healing layer (request ids, acks, bounded
+retransmission, watchdogs; experiment F13).
 """
 
 from .admission import (
@@ -14,8 +19,24 @@ from .admission import (
     AdmitReply,
     AdmitRequest,
 )
-from .agents import ResourceAgent, UserAgent, resource_id, user_id
-from .messages import Join, Leave, LoadQuery, LoadReply, Message, Tick
+from .agents import ResilientUserBase, ResourceAgent, UserAgent, resource_id, user_id
+from .faults import (
+    CrashWindow,
+    FaultPlan,
+    LinkPartition,
+    UnreliableNetwork,
+    certify_message_conservation,
+)
+from .messages import (
+    Join,
+    Leave,
+    LoadQuery,
+    LoadReply,
+    Message,
+    MoveAck,
+    RetryTimer,
+    Tick,
+)
 from .network import (
     Agent,
     ConstantDelay,
@@ -32,6 +53,8 @@ __all__ = [
     "LoadReply",
     "Join",
     "Leave",
+    "MoveAck",
+    "RetryTimer",
     "Agent",
     "Network",
     "DelayModel",
@@ -39,14 +62,14 @@ __all__ = [
     "ExponentialDelay",
     "ResourceAgent",
     "UserAgent",
+    "ResilientUserBase",
     "user_id",
     "resource_id",
+    "CrashWindow",
+    "LinkPartition",
+    "FaultPlan",
+    "UnreliableNetwork",
+    "certify_message_conservation",
     "MessageSimResult",
     "run_message_sim",
-    "AdmissionResourceAgent",
-    "AdmissionUserAgent",
-    "AdmitRequest",
-    "AdmitReply",
-    "AdmitJoin",
-    "AdmitLeave",
 ]

@@ -22,17 +22,31 @@ asynchrony, which the test suite checks on snapshots.
 
 Resources track their residents' thresholds in a local multiset (they
 learn them from ``Join`` messages) — still strictly local information.
+
+Resilience (lossy networks only; see :mod:`repro.msgsim.faults`): requests
+carry ``req_id`` and are retransmitted with backoff, joins/leaves carry a
+per-user ``seq`` and are deduplicated through the resident record and
+acknowledged, and — because a lost :class:`AdmitReply` would otherwise
+leak its reservation forever — reservations are **keyed by user** (a
+retried request replaces rather than stacks its own reservation) and
+expire after ``reservation_ttl`` if the converting join never arrives.
+A join whose reservation already expired is tolerated rather than
+asserted: under faults the no-overshoot guarantee degrades gracefully
+from exact to best-effort, which is the honest behaviour of any
+reservation system with timeouts.
 """
 
 from __future__ import annotations
 
+import itertools
 from collections import Counter
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..core.latency import LatencyFunction
-from .messages import Message, Tick
+from .agents import ResilientUserBase
+from .messages import Message, MoveAck, RetryTimer, Tick
 from .network import Network
 
 __all__ = [
@@ -51,6 +65,7 @@ class AdmitRequest(Message):
 
     threshold: float
     weight: float
+    req_id: int = 0
 
 
 @dataclass(frozen=True)
@@ -59,6 +74,7 @@ class AdmitReply(Message):
 
     resource: int
     admitted: bool
+    req_id: int = 0
 
 
 @dataclass(frozen=True)
@@ -74,6 +90,7 @@ class AdmitJoin(Message):
     threshold: float
     weight: float
     reserved: bool = True
+    seq: int = 0
 
 
 @dataclass(frozen=True)
@@ -82,64 +99,183 @@ class AdmitLeave(Message):
 
     threshold: float
     weight: float
+    seq: int = 0
 
 
 class AdmissionResourceAgent:
     """Tracks load, outstanding reservations, and resident thresholds."""
 
-    def __init__(self, index: int, latency: LatencyFunction):
+    def __init__(self, index: int, latency: LatencyFunction, *, reservation_ttl: float = 5.0):
         self.index = int(index)
         self.agent_id = f"res:{index}"
         self.latency = latency
         self.load = 0.0
         self.reserved = 0.0
         self.resident_thresholds: Counter[float] = Counter()
+        #: TTL for user-keyed reservations (lossy mode only).
+        self.reservation_ttl = float(reservation_ttl)
+        #: Resident record: user id -> (weight, threshold) (lossy-mode dedup).
+        self.residents: dict[str, tuple[float, float]] = {}
+        self._last_seq: dict[str, int] = {}
+        #: Lossy-mode reservations keyed by user: user id -> weight.
+        self._reservations: dict[str, float] = {}
+        self._reservation_token: dict[str, int] = {}
+        self._token_user: dict[int, str] = {}
+        self._token_counter = itertools.count(1)
+        self.stale_moves = 0
+        self.expired_reservations = 0
 
     def _resident_min(self) -> float:
         return min(self.resident_thresholds) if self.resident_thresholds else np.inf
 
+    def _admit_bound(self, msg: AdmitRequest) -> float:
+        # A zero-weight request is a pure satisfaction check: it cannot
+        # dissatisfy residents, so only the requester's own threshold
+        # applies.  Real arrivals must also respect the residents.
+        return (
+            msg.threshold
+            if msg.weight == 0.0
+            else min(msg.threshold, self._resident_min())
+        )
+
     def handle(self, msg: Message, network: Network) -> None:
         if isinstance(msg, AdmitRequest):
-            committed = self.load + self.reserved + msg.weight
-            # A zero-weight request is a pure satisfaction check: it cannot
-            # dissatisfy residents, so only the requester's own threshold
-            # applies.  Real arrivals must also respect the residents.
-            bound = (
-                msg.threshold
-                if msg.weight == 0.0
-                else min(msg.threshold, self._resident_min())
-            )
-            ok = float(self.latency(committed)) <= bound
-            if ok and msg.weight > 0.0:
-                self.reserved += msg.weight
-            network.send(
-                msg.sender,
-                AdmitReply(sender=self.agent_id, resource=self.index, admitted=ok),
-            )
+            if network.lossy:
+                self._handle_request_lossy(msg, network)
+            else:
+                committed = self.load + self.reserved + msg.weight
+                ok = float(self.latency(committed)) <= self._admit_bound(msg)
+                if ok and msg.weight > 0.0:
+                    self.reserved += msg.weight
+                network.send(
+                    msg.sender,
+                    AdmitReply(
+                        sender=self.agent_id,
+                        resource=self.index,
+                        admitted=ok,
+                        req_id=msg.req_id,
+                    ),
+                )
         elif isinstance(msg, AdmitJoin):
-            if msg.reserved:
-                self.reserved -= msg.weight
-                if self.reserved < -1e-9:
-                    raise AssertionError(
-                        f"resource {self.index}: join without reservation"
-                    )
-                self.reserved = max(self.reserved, 0.0)
-            self.load += msg.weight
-            self.resident_thresholds[msg.threshold] += 1
+            if network.lossy:
+                self._handle_join_lossy(msg, network)
+            else:
+                if msg.reserved:
+                    self.reserved -= msg.weight
+                    if self.reserved < -1e-9:
+                        raise AssertionError(
+                            f"resource {self.index}: join without reservation"
+                        )
+                    self.reserved = max(self.reserved, 0.0)
+                self.load += msg.weight
+                self.resident_thresholds[msg.threshold] += 1
+                self.residents[msg.sender] = (msg.weight, msg.threshold)
         elif isinstance(msg, AdmitLeave):
-            self.load -= msg.weight
-            if self.load < -1e-9:
-                raise AssertionError(f"resource {self.index}: negative load")
-            self.resident_thresholds[msg.threshold] -= 1
-            if self.resident_thresholds[msg.threshold] <= 0:
-                del self.resident_thresholds[msg.threshold]
+            if network.lossy:
+                self._handle_leave_lossy(msg, network)
+            else:
+                self.load -= msg.weight
+                if self.load < -1e-9:
+                    raise AssertionError(f"resource {self.index}: negative load")
+                self.resident_thresholds[msg.threshold] -= 1
+                if self.resident_thresholds[msg.threshold] <= 0:
+                    del self.resident_thresholds[msg.threshold]
+                self.residents.pop(msg.sender, None)
+        elif isinstance(msg, RetryTimer) and msg.kind == "reservation":
+            self._expire_reservation(msg.token)
         else:
             raise TypeError(
                 f"admission resource cannot handle {type(msg).__name__}"
             )
 
+    # -- lossy-mode paths --------------------------------------------------------
 
-class AdmissionUserAgent:
+    def _handle_request_lossy(self, msg: AdmitRequest, network: Network) -> None:
+        """Idempotent admission: one reservation per user, TTL-guarded.
+
+        A retransmitted request *replaces* the user's standing reservation
+        (releasing it before re-deciding), so a lost reply can neither
+        stack reservations nor leak capacity for longer than the TTL.
+        """
+        if msg.weight > 0.0:
+            self._release_reservation(msg.sender)
+        committed = self.load + self.reserved + msg.weight
+        ok = float(self.latency(committed)) <= self._admit_bound(msg)
+        if ok and msg.weight > 0.0:
+            self.reserved += msg.weight
+            self._reservations[msg.sender] = msg.weight
+            token = next(self._token_counter)
+            self._reservation_token[msg.sender] = token
+            self._token_user[token] = msg.sender
+            network.schedule_timer(
+                self.agent_id,
+                self.reservation_ttl,
+                RetryTimer(self.agent_id, kind="reservation", token=token),
+            )
+        network.send(
+            msg.sender,
+            AdmitReply(
+                sender=self.agent_id,
+                resource=self.index,
+                admitted=ok,
+                req_id=msg.req_id,
+            ),
+        )
+
+    def _release_reservation(self, user: str) -> None:
+        weight = self._reservations.pop(user, None)
+        if weight is not None:
+            self.reserved = max(0.0, self.reserved - weight)
+        token = self._reservation_token.pop(user, None)
+        if token is not None:
+            self._token_user.pop(token, None)
+
+    def _expire_reservation(self, token: int) -> None:
+        user = self._token_user.pop(token, None)
+        if user is None or self._reservation_token.get(user) != token:
+            return  # converted, replaced, or already expired
+        self._reservation_token.pop(user, None)
+        weight = self._reservations.pop(user, None)
+        if weight is not None:
+            self.reserved = max(0.0, self.reserved - weight)
+            self.expired_reservations += 1
+
+    def _handle_join_lossy(self, msg: AdmitJoin, network: Network) -> None:
+        if msg.seq <= self._last_seq.get(msg.sender, 0):
+            self.stale_moves += 1
+        else:
+            self._last_seq[msg.sender] = msg.seq
+            if msg.reserved:
+                # Convert (or tolerate an already-expired) reservation.
+                self._release_reservation(msg.sender)
+            previous = self.residents.get(msg.sender)
+            if previous is not None:
+                old_weight, old_threshold = previous
+                self.load -= old_weight
+                self.resident_thresholds[old_threshold] -= 1
+                if self.resident_thresholds[old_threshold] <= 0:
+                    del self.resident_thresholds[old_threshold]
+            self.residents[msg.sender] = (msg.weight, msg.threshold)
+            self.load += msg.weight
+            self.resident_thresholds[msg.threshold] += 1
+        network.send(msg.sender, MoveAck(self.agent_id, resource=self.index, seq=msg.seq))
+
+    def _handle_leave_lossy(self, msg: AdmitLeave, network: Network) -> None:
+        if msg.seq <= self._last_seq.get(msg.sender, 0):
+            self.stale_moves += 1
+        else:
+            self._last_seq[msg.sender] = msg.seq
+            previous = self.residents.pop(msg.sender, None)
+            if previous is not None:
+                weight, threshold = previous
+                self.load -= weight
+                self.resident_thresholds[threshold] -= 1
+                if self.resident_thresholds[threshold] <= 0:
+                    del self.resident_thresholds[threshold]
+        network.send(msg.sender, MoveAck(self.agent_id, resource=self.index, seq=msg.seq))
+
+
+class AdmissionUserAgent(ResilientUserBase):
     """State machine: tick -> am I satisfied here? -> request admission elsewhere.
 
     Each activation sends one zero-weight :class:`AdmitRequest` to the
@@ -151,103 +287,115 @@ class AdmissionUserAgent:
     harmless churn, monotone satisfaction.  If the verdict is
     "unsatisfied", the user sends one real :class:`AdmitRequest` to a
     uniformly random other resource and migrates iff admitted.
+
+    Resilience mirrors :class:`~repro.msgsim.agents.UserAgent`: request
+    ids + bounded retransmission for admission requests, reliable
+    seq-stamped joins/leaves, watchdog, crash restart.
     """
 
-    IDLE = "idle"
-    WAIT_OWN = "wait-own"
-    WAIT_TARGET = "wait-target"
-
-    def __init__(
-        self,
-        index: int,
-        threshold: float,
-        weight: float,
-        initial_resource: int,
-        n_resources: int,
-        *,
-        tick_interval: float = 1.0,
-        tick_jitter: float = 0.1,
-        rng: np.random.Generator,
-    ):
-        self.index = int(index)
-        self.agent_id = f"user:{index}"
-        self.threshold = float(threshold)
-        self.weight = float(weight)
-        self.resource = int(initial_resource)
-        self.n_resources = int(n_resources)
-        self.tick_interval = float(tick_interval)
-        self.tick_jitter = float(tick_jitter)
-        self.rng = rng
-        self.state = self.IDLE
-        self.moves = 0
-
     def start(self, network: Network) -> None:
-        network.send(
+        self._dispatch_move(
+            network,
             f"res:{self.resource}",
             AdmitJoin(
                 self.agent_id,
                 threshold=self.threshold,
                 weight=self.weight,
                 reserved=False,
+                seq=next(self._move_seq),
             ),
         )
         self._schedule_tick(network)
 
-    def _schedule_tick(self, network: Network) -> None:
-        jitter = float(self.rng.uniform(-self.tick_jitter, self.tick_jitter))
-        network.schedule_timer(
-            self.agent_id, max(1e-6, self.tick_interval + jitter), Tick(self.agent_id)
-        )
-
     def handle(self, msg: Message, network: Network) -> None:
         if isinstance(msg, Tick):
-            self._schedule_tick(network)
-            if self.state != self.IDLE:
+            if not self._tick_gate(network):
                 return
-            self.state = self.WAIT_OWN
+            self._enter(self.WAIT_OWN, network)
             # weight-0 request = pure latency check; reserves nothing and
             # the resident-min bound keeps the verdict meaningful: the own
             # resource admits "a zero-weight arrival" iff its current
             # latency is within our threshold.
-            network.send(
-                f"res:{self.resource}",
-                AdmitRequest(self.agent_id, threshold=self.threshold, weight=0.0),
-            )
+            self._request_weight = 0.0
+            self._target = self.resource
+            self._req_attempts = 0
+            self._resend_query(network)
         elif isinstance(msg, AdmitReply):
-            if self.state == self.WAIT_OWN:
-                if msg.resource != self.resource:
-                    return  # stale
-                if msg.admitted:
-                    self.state = self.IDLE  # satisfied where we are
-                    return
-                target = int(self.rng.integers(0, self.n_resources))
-                if target == self.resource:
-                    self.state = self.IDLE
-                    return
-                self.state = self.WAIT_TARGET
-                network.send(
-                    f"res:{target}",
-                    AdmitRequest(
-                        self.agent_id, threshold=self.threshold, weight=self.weight
-                    ),
-                )
-            elif self.state == self.WAIT_TARGET:
-                self.state = self.IDLE
-                if not msg.admitted or msg.resource == self.resource:
-                    return
-                network.send(
-                    f"res:{self.resource}",
-                    AdmitLeave(
-                        self.agent_id, threshold=self.threshold, weight=self.weight
-                    ),
-                )
-                self.resource = msg.resource
-                network.send(
-                    f"res:{self.resource}",
-                    AdmitJoin(
-                        self.agent_id, threshold=self.threshold, weight=self.weight
-                    ),
-                )
-                self.moves += 1
+            self._on_reply(msg, network)
+        elif isinstance(msg, MoveAck):
+            self._handle_move_ack(msg)
+        elif isinstance(msg, RetryTimer):
+            self._handle_retry(msg, network)
         else:
             raise TypeError(f"admission user cannot handle {type(msg).__name__}")
+
+    def _resend_query(self, network: Network) -> None:
+        self._req_id = next(self._req_counter)
+        network.send(
+            f"res:{self._target}",
+            AdmitRequest(
+                self.agent_id,
+                threshold=self.threshold,
+                weight=self._request_weight,
+                req_id=self._req_id,
+            ),
+        )
+        if network.lossy:
+            self._arm_query_timer(network)
+
+    def _on_reply(self, msg: AdmitReply, network: Network) -> None:
+        if self.state == self.IDLE:
+            return
+        if network.lossy and msg.req_id != self._req_id:
+            return  # stale or duplicated verdict; retransmission covers us
+        if self.state == self.WAIT_OWN:
+            if msg.resource != self.resource:
+                if not network.lossy:
+                    # Orphaned reply: never strand the state machine.
+                    self._reset(network)
+                return
+            self._req_id = 0
+            if msg.admitted:
+                self._reset(network)  # satisfied where we are
+                return
+            target = int(self.rng.integers(0, self.n_resources))
+            if target == self.resource:
+                self._reset(network)
+                return
+            self._enter(self.WAIT_TARGET, network)
+            self._request_weight = self.weight
+            self._target = target
+            self._req_attempts = 0
+            self._resend_query(network)
+        elif self.state == self.WAIT_TARGET:
+            self._req_id = 0
+            self._reset(network)
+            if not msg.admitted or msg.resource == self.resource:
+                return
+            self._dispatch_move(
+                network,
+                f"res:{self.resource}",
+                AdmitLeave(
+                    self.agent_id,
+                    threshold=self.threshold,
+                    weight=self.weight,
+                    seq=next(self._move_seq),
+                ),
+            )
+            self.resource = msg.resource
+            self._dispatch_move(
+                network,
+                f"res:{self.resource}",
+                AdmitJoin(
+                    self.agent_id,
+                    threshold=self.threshold,
+                    weight=self.weight,
+                    seq=next(self._move_seq),
+                ),
+            )
+            self.moves += 1
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._request_weight = 0.0
+        self._target = self.resource

@@ -15,13 +15,31 @@ model is honest:
   inconsistency is part of the asynchronous model).
 
 :class:`Tick` is a self-addressed timer, not communication.
+
+Resilience metadata (all optional, defaulted so the vocabulary stays
+backward compatible): queries and replies carry a ``req_id`` so a user can
+reject stale or duplicated replies exactly; joins and leaves carry a
+per-user monotone ``seq`` so resources can deduplicate replayed moves; and
+:class:`MoveAck` closes the loop for reliable (retransmitted) delivery of
+moves over a lossy network.  :class:`RetryTimer` is the self-addressed
+watchdog/retransmission timer — like :class:`Tick`, it is a timer, not
+communication, and it is only ever scheduled when the network is lossy.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["Message", "Tick", "LoadQuery", "LoadReply", "Join", "Leave"]
+__all__ = [
+    "Message",
+    "Tick",
+    "LoadQuery",
+    "LoadReply",
+    "Join",
+    "Leave",
+    "MoveAck",
+    "RetryTimer",
+]
 
 
 @dataclass(frozen=True)
@@ -47,6 +65,7 @@ class LoadQuery(Message):
 
     weight: float
     probe: bool
+    req_id: int = 0
 
 
 @dataclass(frozen=True)
@@ -63,6 +82,7 @@ class LoadReply(Message):
     load: float
     latency: float
     probe: bool
+    req_id: int = 0
 
 
 @dataclass(frozen=True)
@@ -70,6 +90,7 @@ class Join(Message):
     """User -> resource: I am now one of your residents."""
 
     weight: float
+    seq: int = 0
 
 
 @dataclass(frozen=True)
@@ -77,3 +98,32 @@ class Leave(Message):
     """User -> resource: I have departed."""
 
     weight: float
+    seq: int = 0
+
+
+@dataclass(frozen=True)
+class MoveAck(Message):
+    """Resource -> user: your move ``seq`` has been applied (or superseded).
+
+    Only sent over lossy networks (``network.lossy``); on a reliable
+    network moves are fire-and-forget, exactly as in the original
+    protocol.  An ack for a stale ``seq`` means a later move from the same
+    user already overtook it — either way, retransmission can stop.
+    """
+
+    resource: int
+    seq: int
+
+
+@dataclass(frozen=True)
+class RetryTimer(Message):
+    """Self-addressed watchdog timer for one outstanding request or move.
+
+    ``kind`` is ``"query"`` (a LoadQuery/AdmitRequest awaiting its reply),
+    ``"move"`` (an unacknowledged Join/Leave), or ``"reservation"`` (a
+    resource-side admission reservation awaiting its join).  ``token``
+    names the request id, move seq, or reservation token respectively.
+    """
+
+    kind: str
+    token: int

@@ -22,7 +22,18 @@ import numpy as np
 from ..sim.rng import make_rng
 from .messages import Message
 
-__all__ = ["Agent", "DelayModel", "ConstantDelay", "ExponentialDelay", "Network"]
+__all__ = [
+    "Agent",
+    "DelayModel",
+    "ConstantDelay",
+    "ExponentialDelay",
+    "Network",
+    "MOVE_MESSAGES",
+]
+
+#: Message type names whose in-flight copies make resource load views
+#: transiently inconsistent with user positions (tracked per copy).
+MOVE_MESSAGES = ("Join", "Leave", "AdmitJoin", "AdmitLeave")
 
 
 class Agent(TypingProtocol):
@@ -71,7 +82,20 @@ class _Event:
 
 
 class Network:
-    """The event queue plus delivery bookkeeping."""
+    """The event queue plus delivery bookkeeping.
+
+    ``lossy`` is the contract between the transport and the protocol
+    agents: ``False`` (this class) promises exactly-once in-order-per-time
+    delivery to live agents, so agents run the lean fire-and-forget
+    protocol; ``True`` (see
+    :class:`~repro.msgsim.faults.UnreliableNetwork`) warns agents that
+    messages may be dropped, duplicated, delayed or lost to crashes, and
+    they respond by enabling acknowledgements, retransmission and
+    watchdogs.
+    """
+
+    #: Reliable transport: agents may skip acks/retransmission machinery.
+    lossy: bool = False
 
     def __init__(self, *, delay_model: DelayModel | None = None, seed: int | np.random.Generator = 0):
         self.rng = make_rng(seed)
@@ -97,11 +121,20 @@ class Network:
         """Send over a channel with a sampled delay."""
         if dst not in self.agents:
             raise KeyError(f"unknown agent {dst!r}")
-        delay = self.delay_model.sample(self.rng)
-        self._push(self.now + delay, dst, msg)
+        self._record_send(msg)
+        self._enqueue(dst, msg)
+
+    def _record_send(self, msg: Message) -> None:
+        """Count a send attempt (protocol cost, whether or not delivered)."""
         name = type(msg).__name__
         self.message_counts[name] = self.message_counts.get(name, 0) + 1
-        if name in ("Join", "Leave", "AdmitJoin", "AdmitLeave"):
+
+    def _enqueue(self, dst: str, msg: Message, delay: float | None = None) -> None:
+        """Put one copy on the wire (per-copy in-flight bookkeeping)."""
+        if delay is None:
+            delay = self.delay_model.sample(self.rng)
+        self._push(self.now + delay, dst, msg)
+        if type(msg).__name__ in MOVE_MESSAGES:
             self.in_flight_moves += 1
 
     def schedule_timer(self, dst: str, delay: float, msg: Message) -> None:
@@ -125,10 +158,14 @@ class Network:
             return False
         ev = heapq.heappop(self._queue)
         self.now = ev.time
-        name = type(ev.msg).__name__
-        if name in ("Join", "Leave", "AdmitJoin", "AdmitLeave"):
+        if type(ev.msg).__name__ in MOVE_MESSAGES:
             self.in_flight_moves -= 1
-        self.agents[ev.dst].handle(ev.msg, self)
+        if self._deliverable(ev.dst, ev.msg):
+            self.agents[ev.dst].handle(ev.msg, self)
+        return True
+
+    def _deliverable(self, dst: str, msg: Message) -> bool:
+        """Delivery-side fault hook; the reliable network delivers all."""
         return True
 
     def run(

@@ -11,11 +11,22 @@ The observer's satisfaction check reads the *authoritative* user positions
 (``agent.resource``), not the resources' load views, and additionally
 requires ``in_flight_moves == 0`` so transient inconsistency cannot be
 mistaken for convergence.
+
+Fault injection (experiment F13): pass a
+:class:`~repro.msgsim.faults.FaultPlan` and the execution runs over an
+:class:`~repro.msgsim.faults.UnreliableNetwork` instead.  Fault decisions
+draw from a dedicated RNG stream seeded by ``(plan.seed, run seed)``, so a
+null plan (``is_active()`` False) reproduces the reliable execution
+bit-for-bit — same delays, same trajectory, same move counts.  Under an
+active plan the observer additionally refuses to declare convergence
+while any move retransmission is pending, and at quiescence the run is
+audited by :func:`~repro.msgsim.faults.certify_message_conservation`;
+the verdict and the fault/retry counters are surfaced on the result.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -23,6 +34,7 @@ from ..core.instance import Instance
 from ..core.state import State
 from ..sim.rng import make_rng
 from .agents import ResourceAgent, UserAgent, user_id
+from .faults import FaultPlan, UnreliableNetwork, certify_message_conservation
 from .network import ConstantDelay, DelayModel, ExponentialDelay, Network
 
 __all__ = ["MessageSimResult", "run_message_sim"]
@@ -39,6 +51,21 @@ class MessageSimResult:
     total_moves: int
     activations: int
     final_state: State
+    # -- resilience accounting (zero / empty on reliable executions) --
+    #: Query/move retransmissions across all users.
+    retries: int = 0
+    #: Activations abandoned after exhausting the query retry budget.
+    gave_up: int = 0
+    #: WAIT_* states force-reset by the tick watchdog.
+    watchdog_resets: int = 0
+    #: Duplicated/replayed moves rejected by resource-side dedup.
+    stale_moves: int = 0
+    #: Transport fault counters (``UnreliableNetwork.fault_counts``).
+    fault_counts: dict[str, int] = field(default_factory=dict)
+    #: Load-conservation audit at quiescence: True/False, or None when the
+    #: run ended mid-flight (budget expiry with messages still moving).
+    conservation_ok: bool | None = None
+    conservation_issues: tuple[str, ...] = ()
 
     @property
     def n_satisfied(self) -> int:
@@ -66,6 +93,10 @@ def run_message_sim(
     max_time: float = 10_000.0,
     max_events: int = 5_000_000,
     initial: str = "random",
+    fault_plan: FaultPlan | None = None,
+    rto: float | None = None,
+    max_retries: int = 3,
+    reservation_ttl: float | None = None,
 ) -> MessageSimResult:
     """One asynchronous distributed execution of a QoS protocol.
 
@@ -75,16 +106,32 @@ def run_message_sim(
     :mod:`repro.msgsim.admission`).  ``initial`` is ``"random"`` or
     ``"pile"``, mirroring the engine.  The instance must have complete
     accessibility (both message protocols sample resources uniformly).
+
+    ``fault_plan`` switches the transport to an
+    :class:`~repro.msgsim.faults.UnreliableNetwork`; ``rto`` (default
+    ``tick_interval / 2``) and ``max_retries`` tune the agents'
+    retransmission layer, and ``reservation_ttl`` (default ``5 *
+    tick_interval``) bounds admission reservations orphaned by lost
+    replies.  All three are inert while the plan is null or absent.
     """
     if instance.access is not None and not instance.access.is_complete():
         raise NotImplementedError("message simulator requires complete accessibility")
     if protocol not in ("sampling", "admission"):
         raise ValueError("protocol must be 'sampling' or 'admission'")
     root = make_rng(seed)
-    net = Network(
-        delay_model=delay_model or ExponentialDelay(mean=tick_interval / 20.0),
-        seed=root.integers(2**63),
-    )
+    net_seed = root.integers(2**63)
+    net_delay = delay_model or ExponentialDelay(mean=tick_interval / 20.0)
+    if fault_plan is None:
+        net = Network(delay_model=net_delay, seed=net_seed)
+    else:
+        # The fault stream never touches ``root``: same run seed => same
+        # delays and same protocol trajectory whenever the plan is null.
+        net = UnreliableNetwork(
+            plan=fault_plan,
+            delay_model=net_delay,
+            seed=net_seed,
+            fault_seed=[fault_plan.seed & 0xFFFFFFFF, seed % 2**32, 0x0F417],
+        )
 
     if initial == "random":
         positions = root.integers(0, instance.n_resources, size=instance.n_users)
@@ -92,6 +139,16 @@ def run_message_sim(
         positions = np.zeros(instance.n_users, dtype=np.int64)
     else:
         raise ValueError("initial must be 'random' or 'pile'")
+
+    resilience = dict(
+        rto=rto,
+        max_retries=max_retries,
+    )
+
+    def retry_rng(u: int) -> np.random.Generator:
+        # Dedicated backoff-jitter stream per user, derived from the run
+        # seed but separate from both the protocol and the fault streams.
+        return np.random.default_rng([seed % 2**32, 0x7E7, u])
 
     if protocol == "sampling":
         resources = [
@@ -108,12 +165,15 @@ def run_message_sim(
             tick_interval=tick_interval,
             tick_jitter=tick_jitter,
             rng=np.random.default_rng(root.integers(2**63)),
+            retry_rng=retry_rng(u),
+            **resilience,
         )
     else:
         from .admission import AdmissionResourceAgent, AdmissionUserAgent
 
+        ttl = reservation_ttl if reservation_ttl is not None else 5.0 * tick_interval
         resources = [
-            AdmissionResourceAgent(r, instance.latencies[r])
+            AdmissionResourceAgent(r, instance.latencies[r], reservation_ttl=ttl)
             for r in range(instance.n_resources)
         ]
         user_factory = lambda u: AdmissionUserAgent(  # noqa: E731
@@ -125,6 +185,8 @@ def run_message_sim(
             tick_interval=tick_interval,
             tick_jitter=tick_jitter,
             rng=np.random.default_rng(root.integers(2**63)),
+            retry_rng=retry_rng(u),
+            **resilience,
         )
     for agent in resources:
         net.register(agent)
@@ -133,8 +195,15 @@ def run_message_sim(
         net.register(agent)
         agent.start(net)
 
-    def satisfied(network: Network) -> bool:
+    def quiescent(network: Network) -> bool:
         if network.in_flight_moves != 0:
+            return False
+        if network.lossy and any(u.pending_moves for u in users):
+            return False
+        return True
+
+    def satisfied(network: Network) -> bool:
+        if not quiescent(network):
             return False
         return _snapshot_state(instance, users).is_satisfying()
 
@@ -145,6 +214,10 @@ def run_message_sim(
     status = "satisfying" if (reason == "stopped" or final.is_satisfying()) else (
         "max_time" if reason == "max_time" else "max_events"
     )
+    if quiescent(net):
+        conservation_ok, issues = certify_message_conservation(resources, users)
+    else:
+        conservation_ok, issues = None, ["run ended with moves still in flight"]
     return MessageSimResult(
         status=status,
         time=net.now,
@@ -153,4 +226,11 @@ def run_message_sim(
         total_moves=sum(u.moves for u in users),
         activations=sum(getattr(u, "activations", 0) for u in users),
         final_state=final,
+        retries=sum(getattr(u, "retries", 0) for u in users),
+        gave_up=sum(getattr(u, "gave_up", 0) for u in users),
+        watchdog_resets=sum(getattr(u, "watchdog_resets", 0) for u in users),
+        stale_moves=sum(getattr(r, "stale_moves", 0) for r in resources),
+        fault_counts=dict(getattr(net, "fault_counts", {})),
+        conservation_ok=conservation_ok,
+        conservation_issues=tuple(issues),
     )

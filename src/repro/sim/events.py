@@ -186,8 +186,12 @@ class UserDeparture(Event):
             if leaving.size and (leaving[0] < 0 or leaving[-1] >= n):
                 raise ValueError("departing user out of range")
         else:
-            k = min(self.count, n - 1)  # keep at least one user
-            leaving = rng.choice(n, size=k, replace=False)
+            if self.count > n - 1:  # at least one user must remain
+                raise ValueError(
+                    f"cannot remove {self.count} of {n} users: "
+                    "at least one user must remain"
+                )
+            leaving = rng.choice(n, size=self.count, replace=False)
         keep = np.setdiff1d(np.arange(n), leaving)
         if keep.size == 0:
             raise ValueError("cannot remove every user")

@@ -98,6 +98,22 @@ def test_user_departure_validation(inst, state, rng):
         UserDeparture(0, users=np.arange(8)).apply(inst, state, rng)
 
 
+def test_user_departure_count_too_large_raises(inst, state, rng):
+    # Removing all n (or more) users is impossible and must be loud, not a
+    # silent clamp to n-1.
+    with pytest.raises(ValueError, match="at least one user must remain"):
+        UserDeparture(0, count=8).apply(inst, state, rng)
+    with pytest.raises(ValueError, match="at least one user must remain"):
+        UserDeparture(0, count=100).apply(inst, state, rng)
+
+
+def test_user_departure_count_at_limit(inst, state, rng):
+    # count == n - 1 is the largest legal request: exactly one user stays.
+    new_inst, new_state = UserDeparture(0, count=7).apply(inst, state, rng)
+    assert new_inst.n_users == 1
+    new_state.check_invariants()
+
+
 def test_events_require_complete_access(rng):
     inst = Instance(
         thresholds=np.asarray([2.0, 2.0]),
@@ -121,3 +137,33 @@ def test_describe():
         "resource": 2,
     }
     assert UserArrival(1, np.asarray([2.0])).describe()["n_arriving"] == 1
+
+
+def test_describe_round_trips_all_event_types():
+    """Every event type reports its own class name, round, and payload."""
+    events = {
+        "ResourceFailure": ResourceFailure(3, 1),
+        "ResourceRecovery": ResourceRecovery(7, 1, IdentityLatency()),
+        "UserArrival": UserArrival(2, np.asarray([2.0, 3.0])),
+        "UserDeparture": UserDeparture(4, count=2),
+    }
+    for name, ev in events.items():
+        d = ev.describe()
+        assert d["type"] == name == type(ev).__name__
+        assert d["round"] == ev.round_index
+    assert events["ResourceRecovery"].describe()["resource"] == 1
+    assert "IdentityLatency" in events["ResourceRecovery"].describe()["latency"]
+    assert events["UserArrival"].describe()["n_arriving"] == 2
+    assert events["UserDeparture"].describe()["count"] == 2
+    # explicit-user departures report the actual list size, not ``count``
+    assert UserDeparture(4, users=np.asarray([0, 1, 2])).describe()["count"] == 3
+
+
+def test_recovery_refuses_double_recovery(inst, state, rng):
+    """Recovering twice (or a healthy resource) is refused, not overwritten."""
+    failed_inst, failed_state = ResourceFailure(1, 2).apply(inst, state, rng)
+    rec_inst, rec_state = ResourceRecovery(2, 2, IdentityLatency()).apply(
+        failed_inst, failed_state, rng
+    )
+    with pytest.raises(ValueError, match="not failed"):
+        ResourceRecovery(3, 2, IdentityLatency()).apply(rec_inst, rec_state, rng)

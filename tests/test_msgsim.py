@@ -205,3 +205,38 @@ def test_user_agent_skips_pipelined_ticks():
     net.run(max_time=5.0, max_events=100)
     # several ticks passed but at most one probe can be outstanding
     assert user.activations <= 2
+
+
+def test_orphaned_wrong_resource_reply_terminates_activation():
+    """Regression: an orphaned reply must never strand the state machine.
+
+    A user in WAIT_OWN that receives a non-probe LoadReply naming a
+    *different* resource (a reply its request never asked for — injected
+    here by hand) used to keep waiting forever: the reply was swallowed,
+    the real reply never came, and every future tick was skipped.  The
+    activation must instead terminate in IDLE so the next tick recovers.
+    """
+    rng = np.random.default_rng(0)
+    net = Network(delay_model=ConstantDelay(0.01), seed=0)
+    res = ResourceAgent(0, IdentityLatency(), initial_load=5.0)
+    user = UserAgent(
+        0,
+        threshold=1.0,
+        weight=1.0,
+        initial_resource=0,
+        n_resources=2,
+        tick_interval=0.5,
+        tick_jitter=0.0,
+        rng=rng,
+    )
+    net.register(res)
+    net.register(user)
+    user.state = user.WAIT_OWN  # mid-activation, awaiting res:0's reply
+    orphan = LoadReply(
+        "res:1", resource=1, load=0.0, latency=0.0, probe=False
+    )
+    user.handle(orphan, net)
+    assert user.state == user.IDLE  # terminated, not stranded
+    # and the user is fully operational afterwards
+    user.handle(Tick(user.agent_id), net)
+    assert user.state == user.WAIT_OWN
