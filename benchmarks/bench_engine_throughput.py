@@ -1,16 +1,26 @@
-"""Micro-benchmark: raw engine round throughput (the hot path).
+"""Engine-throughput benches + the machine-readable harness entry point.
 
-Unlike the experiment benches (timed once), this measures the vectorized
-round update properly over many iterations: one synchronous round of the
-sampling protocol on 100k users / 3125 resources, held just below
-convergence so every round does real work.
+Two layers:
+
+- the micro-benches below measure single vectorized operations under
+  ``pytest-benchmark`` (one synchronous round at 100k users, the
+  satisfaction query at 1M users, cached vs uncached);
+- :func:`bench_harness_smoke` runs the full machine-readable harness
+  (:mod:`repro.bench` — the same thing ``python -m repro bench`` and the
+  CI smoke job invoke) and persists ``BENCH_engine.json`` so every bench
+  run refreshes the perf baseline.
 """
+
+from pathlib import Path
 
 import numpy as np
 
+from repro.bench import run_bench
 from repro.core.protocols import QoSSamplingProtocol
-from repro.core.state import State
+from repro.core.state import State, caching_disabled
 from repro.workloads.generators import uniform_slack
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
 def bench_engine_round_100k_users(benchmark):
@@ -37,3 +47,25 @@ def bench_satisfaction_query_1m_users(benchmark):
 
     result = benchmark(state.satisfied_mask)
     assert result.shape == (1_000_000,)
+
+
+def bench_satisfaction_query_1m_users_uncached(benchmark):
+    """The uncached reference: what every call cost before memoization."""
+    inst = uniform_slack(1_000_000, 31_250, slack=0.25)
+    rng = np.random.default_rng(0)
+    state = State.uniform_random(inst, rng)
+
+    with caching_disabled():
+        result = benchmark(state.satisfied_mask)
+    assert result.shape == (1_000_000,)
+
+
+def bench_harness_smoke(benchmark):
+    """Full harness at smoke scale; writes BENCH_engine.json at repo root."""
+    payload = benchmark.pedantic(
+        lambda: run_bench(scale="smoke", out=REPO_ROOT / "BENCH_engine.json"),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(payload["cells"]) >= 4
+    assert (REPO_ROOT / "BENCH_engine.json").exists()

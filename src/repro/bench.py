@@ -1,0 +1,318 @@
+"""Machine-readable engine benchmark harness (``python -m repro bench``).
+
+The convergence-time experiments spend nearly all wall-clock inside the
+engine's round loop, and the ROADMAP's north star is scale — so the perf
+trajectory needs a *machine-readable* baseline that accumulates per PR.
+This harness times:
+
+- **engine** cells: protocol rounds/second on representative workloads
+  (unit and weighted instances, with and without an access topology, every
+  registered protocol family, synchronous and alpha schedules);
+- **replicate** cells: whole-replication throughput through
+  :func:`repro.sim.parallel.replicate`, the unit the experiment sweeps
+  fan out;
+- **query** cells: ``State.satisfied_mask`` calls/second with the
+  generation-counter cache enabled vs. disabled — the direct measurement
+  of the memoization layer.
+
+Results go to ``BENCH_engine.json`` (repo root by convention; CI uploads
+it as an artifact) plus a human-readable ASCII table on stdout.  Timings
+are wall-clock best-of-``repeats``; the JSON also records the interpreter
+and NumPy versions so regressions can be attributed.
+
+Usage::
+
+    python -m repro bench                    # smoke scale, BENCH_engine.json
+    python -m repro bench --scale full       # larger cells, more repeats
+    python -m repro bench --out /tmp/b.json  # custom output path
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+__all__ = ["ENGINE_CELLS", "run_bench", "main"]
+
+
+# Each engine cell: name + registry names/kwargs, per scale.  The cells
+# deliberately cover unit/weighted instances, complete and restricted
+# access, all protocol families and both schedule styles, so a regression
+# on any hot path shows up in at least one row.
+ENGINE_CELLS: list[dict[str, Any]] = [
+    {
+        "name": "unit/sampling/sync",
+        "generator": "uniform_slack",
+        "protocol": "qos-sampling",
+        "schedule": "synchronous",
+    },
+    {
+        "name": "unit/sampling/alpha",
+        "generator": "uniform_slack",
+        "protocol": "qos-sampling",
+        "schedule": "alpha",
+        "schedule_kwargs": {"alpha": 0.5},
+    },
+    {
+        "name": "unit/sampling-slackrate/sync",
+        "generator": "uniform_slack",
+        "protocol": "qos-sampling",
+        "protocol_kwargs": {"rate": {"name": "slack-proportional"}},
+        "schedule": "synchronous",
+    },
+    {
+        "name": "weighted/sampling/sync",
+        "generator": "weighted_uniform",
+        "protocol": "qos-sampling",
+        "schedule": "synchronous",
+    },
+    {
+        "name": "access/sampling/sync",
+        "generator": "random_access",
+        "protocol": "qos-sampling",
+        "schedule": "synchronous",
+    },
+    {
+        "name": "unit/multi-probe/sync",
+        "generator": "uniform_slack",
+        "protocol": "multi-probe",
+        "protocol_kwargs": {"d": 2},
+        "schedule": "synchronous",
+    },
+    {
+        "name": "unit/permit/sync",
+        "generator": "uniform_slack",
+        "protocol": "permit",
+        "schedule": "synchronous",
+    },
+    {
+        "name": "unit/sweep-best-response/sync",
+        "generator": "uniform_slack",
+        "protocol": "sweep-best-response",
+        "schedule": "synchronous",
+    },
+]
+
+#: Scale presets: instance size, engine round budget and timing repeats.
+SCALES: dict[str, dict[str, int]] = {
+    "smoke": {"n": 2_000, "m": 64, "max_rounds": 64, "repeats": 2, "reps": 4},
+    "full": {"n": 50_000, "m": 1_024, "max_rounds": 128, "repeats": 3, "reps": 8},
+}
+
+
+def _build_cell(cell: dict[str, Any], n: int, m: int):
+    from .registry import build_instance, build_protocol, build_schedule
+
+    gen_kwargs = dict(cell.get("generator_kwargs", {}))
+    gen_kwargs.setdefault("n", n)
+    gen_kwargs.setdefault("m", m)
+    instance = build_instance(cell["generator"], **gen_kwargs)
+    proto_kwargs = dict(cell.get("protocol_kwargs", {}))
+    protocol = build_protocol(cell["protocol"], **proto_kwargs)
+    schedule = build_schedule(cell["schedule"], **cell.get("schedule_kwargs", {}))
+    return instance, protocol, schedule
+
+
+def _time_engine_cell(
+    cell: dict[str, Any], *, n: int, m: int, max_rounds: int, repeats: int, seed: int = 0
+) -> dict[str, Any]:
+    from .sim.engine import run
+
+    instance, protocol, schedule = _build_cell(cell, n, m)
+    best: dict[str, Any] | None = None
+    for rep in range(repeats):
+        started = time.perf_counter()
+        result = run(
+            instance,
+            protocol,
+            seed=seed,
+            schedule=schedule,
+            max_rounds=max_rounds,
+            initial="pile",
+        )
+        elapsed = time.perf_counter() - started
+        rounds = max(1, result.rounds)
+        sample = {
+            "seconds": elapsed,
+            "rounds": int(result.rounds),
+            "status": result.status,
+            "rounds_per_sec": rounds / elapsed,
+            "user_rounds_per_sec": rounds * instance.n_users / elapsed,
+        }
+        if best is None or sample["rounds_per_sec"] > best["rounds_per_sec"]:
+            best = sample
+    assert best is not None
+    return {
+        "kind": "engine",
+        "name": cell["name"],
+        "generator": cell["generator"],
+        "protocol": cell["protocol"],
+        "schedule": cell["schedule"],
+        "n_users": instance.n_users,
+        "n_resources": instance.n_resources,
+        **best,
+    }
+
+
+def _time_replicate_cell(*, n: int, m: int, max_rounds: int, reps: int) -> dict[str, Any]:
+    from .sim.parallel import RunSpec, replicate
+
+    spec = RunSpec(
+        generator="uniform_slack",
+        generator_kwargs={"n": n, "m": m, "slack": 0.25},
+        protocol="qos-sampling",
+        initial="pile",
+        max_rounds=max_rounds,
+        label="bench-replicate",
+    )
+    started = time.perf_counter()
+    results = replicate(spec, reps, base_seed=0, workers=0)
+    elapsed = time.perf_counter() - started
+    return {
+        "kind": "replicate",
+        "name": "replicate/sampling/serial",
+        "generator": "uniform_slack",
+        "protocol": "qos-sampling",
+        "schedule": "synchronous",
+        "n_users": n,
+        "n_resources": m,
+        "reps": reps,
+        "seconds": elapsed,
+        "reps_per_sec": reps / elapsed,
+        "total_rounds": int(sum(r.rounds for r in results)),
+        "statuses": sorted({r.status for r in results}),
+    }
+
+
+def _time_query_cell(*, n: int, m: int, calls: int = 200) -> dict[str, Any]:
+    from .core.state import State, caching_disabled
+    from .registry import build_instance
+
+    instance = build_instance("uniform_slack", n=n, m=m, slack=0.25)
+    state = State.uniform_random(instance, np.random.default_rng(0))
+
+    def measure() -> float:
+        state.invalidate_caches()
+        started = time.perf_counter()
+        for _ in range(calls):
+            state.satisfied_mask()
+        return calls / (time.perf_counter() - started)
+
+    cached = measure()
+    with caching_disabled():
+        uncached = measure()
+    return {
+        "kind": "query",
+        "name": "query/satisfied-mask",
+        "n_users": n,
+        "n_resources": m,
+        "calls": calls,
+        "cached_calls_per_sec": cached,
+        "uncached_calls_per_sec": uncached,
+        "cache_speedup": cached / uncached if uncached else float("inf"),
+    }
+
+
+def run_bench(
+    *,
+    scale: str = "smoke",
+    out: str | Path = "BENCH_engine.json",
+    repeats: int | None = None,
+    seed: int = 0,
+) -> dict[str, Any]:
+    """Run every cell, write the JSON payload, return it."""
+    if scale not in SCALES:
+        raise ValueError(f"unknown scale {scale!r}; known: {sorted(SCALES)}")
+    params = SCALES[scale]
+    n, m = params["n"], params["m"]
+    n_repeats = params["repeats"] if repeats is None else int(repeats)
+
+    cells: list[dict[str, Any]] = []
+    for cell in ENGINE_CELLS:
+        cells.append(
+            _time_engine_cell(
+                cell,
+                n=n,
+                m=m,
+                max_rounds=params["max_rounds"],
+                repeats=n_repeats,
+                seed=seed,
+            )
+        )
+    cells.append(
+        _time_replicate_cell(n=n, m=m, max_rounds=params["max_rounds"], reps=params["reps"])
+    )
+    cells.append(_time_query_cell(n=n, m=m))
+
+    payload = {
+        "schema": "bench-engine/v1",
+        "created_unix": time.time(),
+        "scale": scale,
+        "seed": seed,
+        "python": sys.version.split()[0],
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "cells": cells,
+    }
+    out_path = Path(out)
+    out_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return payload
+
+
+def render_bench(payload: dict[str, Any]) -> str:
+    """Human-readable table of one harness run."""
+    from .analysis.tables import render_table
+
+    rows = []
+    for c in payload["cells"]:
+        if c["kind"] == "engine":
+            metric = f"{c['rounds_per_sec']:,.0f} rounds/s"
+            detail = f"{c['rounds']} rounds, {c['status']}"
+        elif c["kind"] == "replicate":
+            metric = f"{c['reps_per_sec']:,.2f} reps/s"
+            detail = f"{c['reps']} reps, {c['total_rounds']} rounds"
+        else:
+            metric = f"{c['cached_calls_per_sec']:,.0f} calls/s"
+            detail = f"cache speedup x{c['cache_speedup']:,.0f}"
+        rows.append(
+            [
+                c["name"],
+                c.get("n_users", ""),
+                c.get("n_resources", ""),
+                f"{c['seconds']:.3f}" if "seconds" in c else "",
+                metric,
+                detail,
+            ]
+        )
+    title = (
+        f"engine benchmark — scale={payload['scale']}, "
+        f"python {payload['python']}, numpy {payload['numpy']}"
+    )
+    return render_table(["cell", "n", "m", "seconds", "throughput", "notes"], rows, title=title)
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(prog="repro-qoslb bench")
+    parser.add_argument("--scale", choices=sorted(SCALES), default="smoke")
+    parser.add_argument("--out", default="BENCH_engine.json")
+    parser.add_argument("--repeats", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+    payload = run_bench(
+        scale=args.scale, out=args.out, repeats=args.repeats, seed=args.seed
+    )
+    print(render_bench(payload))
+    print(f"[wrote {args.out}]")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -9,6 +9,7 @@ Installed as ``repro-qoslb`` (also ``python -m repro``)::
         --gen-arg m=64 --gen-arg slack=0.25 --protocol permit --seed 7
     repro-qoslb fluid --n 100000 --m 64      # mean-field trajectory forecast
     repro-qoslb churn --rho 0.9              # steady-state QoS under churn
+    repro-qoslb bench --scale smoke          # perf harness -> BENCH_engine.json
     repro-qoslb demo                         # 30-second guided tour
 """
 
@@ -191,6 +192,17 @@ def _cmd_churn(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .bench import render_bench, run_bench
+
+    payload = run_bench(
+        scale=args.scale, out=args.out, repeats=args.repeats, seed=args.seed
+    )
+    print(render_bench(payload))
+    print(f"[wrote {args.out}]")
+    return 0
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     from . import (
         PermitProtocol,
@@ -276,6 +288,15 @@ def main(argv: list[str] | None = None) -> int:
     p_churn.add_argument("--protocol", default="qos-sampling")
     p_churn.add_argument("--seed", type=int, default=0)
     p_churn.set_defaults(fn=_cmd_churn)
+
+    p_bench = sub.add_parser(
+        "bench", help="engine perf harness -> BENCH_engine.json + table"
+    )
+    p_bench.add_argument("--scale", choices=("smoke", "full"), default="smoke")
+    p_bench.add_argument("--out", default="BENCH_engine.json")
+    p_bench.add_argument("--repeats", type=int, default=None)
+    p_bench.add_argument("--seed", type=int, default=0)
+    p_bench.set_defaults(fn=_cmd_bench)
 
     sub.add_parser("demo", help="30-second guided tour").set_defaults(fn=_cmd_demo)
 

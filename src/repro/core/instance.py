@@ -33,7 +33,7 @@ class AccessMap:
     Python loops.
     """
 
-    __slots__ = ("n_users", "n_resources", "choices", "offsets")
+    __slots__ = ("n_users", "n_resources", "choices", "offsets", "_keys")
 
     def __init__(self, allowed: Sequence[Sequence[int]], n_resources: int):
         self.n_users = len(allowed)
@@ -52,6 +52,12 @@ class AccessMap:
             if arr.size and (arr[0] < 0 or arr[-1] >= n_resources):
                 raise ValueError(f"user {u} references an out-of-range resource")
             self.choices[self.offsets[u] : self.offsets[u + 1]] = arr
+        # Flat membership index: entries are grouped by user (ascending) and
+        # sorted by resource within each user, so ``u * m + r`` over the
+        # flat layout is globally sorted — one searchsorted answers an
+        # arbitrary batch of (user, resource) membership queries.
+        owners = np.repeat(np.arange(self.n_users, dtype=np.int64), counts)
+        self._keys = owners * self.n_resources + self.choices
 
     @classmethod
     def complete(cls, n_users: int, n_resources: int) -> "AccessMap":
@@ -82,15 +88,30 @@ class AccessMap:
         return bool(np.all(np.diff(self.offsets) == self.n_resources))
 
     def contains(self, users: np.ndarray, resources: np.ndarray) -> np.ndarray:
-        """Vectorized membership: may ``users[i]`` occupy ``resources[i]``?"""
+        """Vectorized membership: may ``users[i]`` occupy ``resources[i]``?
+
+        One binary search over the flat key index per query entry — no
+        per-user Python loop.  Out-of-range resources are simply absent.
+        """
         users = np.asarray(users, dtype=np.int64)
         resources = np.asarray(resources, dtype=np.int64)
-        out = np.empty(users.shape, dtype=bool)
-        for i, (u, r) in enumerate(zip(users, resources)):
-            a = self.allowed(int(u))
-            j = np.searchsorted(a, r)
-            out[i] = j < a.size and a[j] == r
+        out = np.zeros(users.shape, dtype=bool)
+        if users.size == 0:
+            return out
+        valid = (resources >= 0) & (resources < self.n_resources)
+        keys = users * self.n_resources + resources
+        pos = np.searchsorted(self._keys, keys)
+        inb = valid & (pos < self._keys.size)
+        out[inb] = self._keys[pos[inb]] == keys[inb]
         return out
+
+    def contains_one(self, u: int, r: int) -> bool:
+        """Scalar membership check (the ``move_user`` fast path)."""
+        if not (0 <= r < self.n_resources):
+            return False
+        key = u * self.n_resources + r
+        pos = int(np.searchsorted(self._keys, key))
+        return pos < self._keys.size and int(self._keys[pos]) == key
 
     def sample(self, users: np.ndarray, rng: np.random.Generator) -> np.ndarray:
         """Uniformly sample one accessible resource per listed user.

@@ -97,6 +97,16 @@ class LatencyFunction(ABC):
                 hi = mid
         return lo
 
+    def capacity_vec(self, qs: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`capacity` over an array of thresholds.
+
+        The generic implementation loops over the scalar method (bit-exact
+        by construction); families with closed forms override it with the
+        array expression mirroring their scalar formula exactly.
+        """
+        qs = np.asarray(qs, dtype=np.float64)
+        return np.asarray([self.capacity(float(q)) for q in qs], dtype=np.int64)
+
     # -- value-object protocol -------------------------------------------------
 
     def _key(self) -> tuple:
@@ -134,6 +144,10 @@ class IdentityLatency(LatencyFunction):
             return -1
         return int(math.floor(q))
 
+    def capacity_vec(self, qs):
+        qs = np.asarray(qs, dtype=np.float64)
+        return np.where(qs < 0, -1, np.floor(qs)).astype(np.int64)
+
 
 class SpeedScaledLatency(LatencyFunction):
     """Uniformly related machines: ``ell(x) = x / speed``."""
@@ -154,6 +168,10 @@ class SpeedScaledLatency(LatencyFunction):
         # floor with a tolerance so that q * speed that is integral up to
         # floating-point noise is not rounded down.
         return int(math.floor(q * self.speed + 1e-9))
+
+    def capacity_vec(self, qs):
+        qs = np.asarray(qs, dtype=np.float64)
+        return np.where(qs < 0, -1, np.floor(qs * self.speed + 1e-9)).astype(np.int64)
 
     def _key(self):
         return (type(self), self.speed)
@@ -183,6 +201,13 @@ class AffineLatency(LatencyFunction):
         if self.slope == 0:
             return _CAPACITY_SEARCH_BOUND
         return int(math.floor((q - self.offset) / self.slope + 1e-9))
+
+    def capacity_vec(self, qs):
+        qs = np.asarray(qs, dtype=np.float64)
+        if self.slope == 0:
+            return np.where(qs < self.offset, -1, _CAPACITY_SEARCH_BOUND).astype(np.int64)
+        caps = np.floor((qs - self.offset) / self.slope + 1e-9)
+        return np.where(qs < self.offset, -1, caps).astype(np.int64)
 
     def _key(self):
         return (type(self), self.slope, self.offset)
@@ -279,6 +304,10 @@ class CapacityLatency(LatencyFunction):
 
     def capacity(self, q: float) -> int:
         return self.cap if q >= 0 else -1
+
+    def capacity_vec(self, qs):
+        qs = np.asarray(qs, dtype=np.float64)
+        return np.where(qs >= 0, self.cap, -1).astype(np.int64)
 
     def _key(self):
         return (type(self), self.cap)
@@ -453,4 +482,23 @@ class LatencyProfile:
         out = np.empty(len(self.functions), dtype=np.int64)
         for f, idx in self._groups:
             out[idx] = f.capacity(q)
+        return out
+
+    def capacities_at(self, resources: np.ndarray, qs: np.ndarray) -> np.ndarray:
+        """``capacity`` of ``resources[i]`` at threshold ``qs[i]``, vectorized.
+
+        The per-entry analogue of :meth:`evaluate_at`: entries are grouped
+        by distinct latency function and each group is answered with one
+        :meth:`LatencyFunction.capacity_vec` call — the hot path of
+        load-adaptive migration rates.
+        """
+        resources = np.asarray(resources, dtype=np.intp)
+        qs = np.asarray(qs, dtype=np.float64)
+        if resources.shape != qs.shape:
+            raise ValueError("resources and qs must have matching shapes")
+        out = np.empty(resources.shape, dtype=np.int64)
+        for f, idx in self._groups:
+            mask = np.isin(resources, idx)
+            if np.any(mask):
+                out[mask] = f.capacity_vec(qs[mask])
         return out

@@ -137,22 +137,27 @@ class SweepBestResponse(Protocol):
     def step(self, state, active, rng) -> StepOutcome:
         moved: list[int] = []
         order = rng.permutation(np.nonzero(active)[0])
-        q = state.instance.thresholds
+        inst = state.instance
+        q = inst.thresholds
+        # Maintain the per-resource latency vector incrementally across the
+        # sweep: one full evaluation up front, then O(1) updates for the two
+        # resources each applied move touches — the per-user one-element
+        # evaluate_at calls were the sweep's dominant cost.
+        lat = np.array(state.resource_latencies())
         for u in order:
             u = int(u)
             # Check satisfaction against the *current* loads: earlier moves
             # in this sweep may have changed this user's situation.
             own = int(state.assignment[u])
-            lat = float(
-                state.instance.latencies.evaluate_at(
-                    np.asarray([own]), np.asarray([state.loads[own]])
-                )[0]
-            )
-            if lat <= q[u]:
+            if lat[own] <= q[u]:
                 continue
             target = _best_target(state, u, rng, self.greedy, self.polite)
             if target is not None:
                 state.move_user(u, target)
+                touched = np.asarray([own, target])
+                lat[touched] = inst.latencies.evaluate_at(
+                    touched, state.loads[touched]
+                )
                 moved.append(u)
         moved_arr = np.asarray(moved, dtype=np.int64)
         return StepOutcome(

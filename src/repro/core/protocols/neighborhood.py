@@ -93,9 +93,15 @@ class NeighborhoodSamplingProtocol(Protocol):
         movers = np.nonzero(active & ~state.satisfied_mask())[0]
         if movers.size == 0:
             return Proposal.empty()
+        inst = state.instance
         targets = self.graph.sample_neighbor(state.assignment[movers], rng)
         not_self = targets != state.assignment[movers]
         ok = state.would_satisfy(movers, targets) & not_self
+        # The resource graph knows nothing about per-user accessibility:
+        # drop probes of forbidden resources (the probe is wasted, like a
+        # self-sample) instead of proposing an invalid migration.
+        if inst.access is not None:
+            ok &= inst.access.contains(movers, targets)
         movers, targets = movers[ok], targets[ok]
         if movers.size == 0:
             return Proposal.empty()
@@ -117,6 +123,8 @@ class NeighborhoodSamplingProtocol(Protocol):
             own = int(state.assignment[u])
             nbrs = self.graph.neighbors_of(own)
             nbrs = nbrs[nbrs != own]
+            if inst.access is not None and nbrs.size:
+                nbrs = nbrs[inst.access.contains(np.full(nbrs.size, u), nbrs)]
             if nbrs.size == 0:
                 continue
             w = float(inst.weights[u])

@@ -23,7 +23,7 @@ surface of experiment F6:
 
 from __future__ import annotations
 
-from abc import ABC, abstractmethod
+from abc import ABC
 
 import numpy as np
 
@@ -39,14 +39,28 @@ __all__ = [
 
 
 class MigrationRateRule(ABC):
-    """Decides which of the would-be migrants commit this round."""
+    """Decides which of the would-be migrants commit this round.
+
+    Rules should implement :meth:`commit_probs` — a *pure* per-user commit
+    probability vector.  The default :meth:`commit_mask` then compares one
+    batched uniform draw against it, and protocols that pre-draw their
+    round's uniforms (the sampling protocol) can skip the extra RNG call
+    entirely.  Rules whose randomness cannot be expressed as independent
+    per-user Bernoulli draws override :meth:`commit_mask` instead and
+    return ``None`` from :meth:`commit_probs`.
+    """
 
     name: str = "rate"
 
     def reset(self, instance: Instance, rng: np.random.Generator) -> None:
         """(Re-)initialise per-run rule state."""
 
-    @abstractmethod
+    def commit_probs(
+        self, state: State, users: np.ndarray, targets: np.ndarray
+    ) -> np.ndarray | None:
+        """Per-user commit probabilities, or ``None`` for custom randomness."""
+        return None
+
     def commit_mask(
         self,
         state: State,
@@ -55,6 +69,12 @@ class MigrationRateRule(ABC):
         rng: np.random.Generator,
     ) -> np.ndarray:
         """Boolean mask over ``users``: who actually migrates."""
+        probs = self.commit_probs(state, users, targets)
+        if probs is None:
+            raise NotImplementedError(
+                f"{type(self).__name__} must implement commit_probs or commit_mask"
+            )
+        return rng.random(users.size) < probs
 
     def observe(self, state: State, moved_users: np.ndarray) -> None:
         """Called after the round's moves are applied."""
@@ -72,10 +92,9 @@ class ConstantRate(MigrationRateRule):
         self.p = float(p)
         self.name = f"const({p:g})"
 
-    def commit_mask(self, state, users, targets, rng):
-        if self.p >= 1.0:
-            return np.ones(users.size, dtype=bool)
-        return rng.random(users.size) < self.p
+    def commit_probs(self, state, users, targets):
+        # uniform draws live in [0, 1), so p == 1 commits everybody.
+        return np.full(users.size, self.p)
 
     def describe(self):
         return {"name": self.name, "p": self.p}
@@ -105,22 +124,20 @@ class SlackProportionalRate(MigrationRateRule):
             raise ValueError("floor must be in (0, 1]")
         self.floor = float(floor)
 
-    def commit_mask(self, state, users, targets, rng):
+    def commit_probs(self, state, users, targets):
         inst = state.instance
         q = inst.thresholds[users]
-        # Free capacity of the target w.r.t. each user's own threshold.
-        free = np.empty(users.size, dtype=np.float64)
-        for i, (r, qu) in enumerate(zip(targets, q)):
-            cap = inst.latencies[int(r)].capacity(float(qu))
-            free[i] = max(0.0, cap - state.loads[int(r)])
+        # Free capacity of the target w.r.t. each user's own threshold —
+        # one grouped capacity_vec call instead of a per-user Python loop.
+        caps = inst.latencies.capacities_at(targets, q).astype(np.float64)
+        free = np.maximum(0.0, caps - state.loads[targets])
         # Local contention: unsatisfied users on own resource.
         unsat = ~state.satisfied_mask()
         unsat_per_res = np.bincount(
             state.assignment[unsat], minlength=inst.n_resources
         )
         contention = np.maximum(unsat_per_res[state.assignment[users]], 1)
-        p = np.clip(free / contention, self.floor, 1.0)
-        return rng.random(users.size) < p
+        return np.clip(free / contention, self.floor, 1.0)
 
     def describe(self):
         return {"name": self.name, "floor": self.floor}
@@ -164,10 +181,10 @@ class AdaptiveBackoffRate(MigrationRateRule):
     def reset(self, instance, rng):
         self._p = np.full(instance.n_users, self.p0)
 
-    def commit_mask(self, state, users, targets, rng):
+    def commit_probs(self, state, users, targets):
         if self._p is None:  # tolerate use without explicit reset
-            self.reset(state.instance, rng)
-        return rng.random(users.size) < self._p[users]
+            self._p = np.full(state.instance.n_users, self.p0)
+        return self._p[users]
 
     def observe(self, state, moved_users):
         if self._p is None:

@@ -83,13 +83,23 @@ class QoSSamplingProtocol(Protocol):
                     targets[idx] = inst.access.sample(movers[idx], rng)
                 clash = targets == own
 
+        # One batched uniform draw covering every mover, taken *before* the
+        # satisfaction filter: the round consumes exactly two RNG calls
+        # (targets + uniforms) regardless of how many probes succeed, and
+        # Bernoulli-style rate rules reduce to a pure probability lookup.
+        uniforms = rng.random(movers.size)
+
         not_self = targets != state.assignment[movers]
         ok = state.would_satisfy(movers, targets) & not_self
-        movers, targets = movers[ok], targets[ok]
+        movers, targets, uniforms = movers[ok], targets[ok], uniforms[ok]
         if movers.size == 0:
             return Proposal.empty()
 
-        commit = self.rate.commit_mask(state, movers, targets, rng)
+        probs = self.rate.commit_probs(state, movers, targets)
+        if probs is None:  # custom rule with its own randomness
+            commit = self.rate.commit_mask(state, movers, targets, rng)
+        else:
+            commit = uniforms < probs
         return Proposal(movers[commit], targets[commit])
 
     def observe(self, state, moved_users):

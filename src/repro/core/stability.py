@@ -60,18 +60,25 @@ __all__ = [
 ]
 
 
-def satisfied_resident_min(state: State) -> np.ndarray:
-    """Per-resource minimum threshold among currently satisfied residents.
-
-    ``+inf`` for resources with no satisfied resident — the bound a polite
-    arrival must not exceed.
-    """
+def _compute_satisfied_resident_min(state: State) -> np.ndarray:
     inst = state.instance
     out = np.full(inst.n_resources, np.inf)
     sat = state.satisfied_mask()
     if np.any(sat):
         np.minimum.at(out, state.assignment[sat], inst.thresholds[sat])
+    out.setflags(write=False)
     return out
+
+
+def satisfied_resident_min(state: State) -> np.ndarray:
+    """Per-resource minimum threshold among currently satisfied residents.
+
+    ``+inf`` for resources with no satisfied resident — the bound a polite
+    arrival must not exceed.  Memoized on the state's generation counter
+    (read-only result): polite sweeps query it once per user between moves,
+    which was an O(n^2)-per-sweep hot spot.
+    """
+    return state.cached("satisfied_resident_min", _compute_satisfied_resident_min)
 
 
 def blocked_mask(state: State, *, polite: bool = False) -> np.ndarray:

@@ -10,21 +10,74 @@ over users in Python.
 Loads are stored as ``float64``.  For unit-weight instances every load is a
 small integer, which ``float64`` represents exactly, so integer-exact
 feasibility logic remains sound.
+
+Query caching
+-------------
+
+``resource_latencies()``, ``user_latencies()`` and ``satisfied_mask()`` are
+called from many sites per round (the engine's convergence check, every
+protocol's mover selection, rate rules, the recorder, stability checks).
+They are memoized against a **generation counter** (:attr:`State.version`)
+that every mutation — construction, :meth:`apply_migrations`,
+:meth:`move_user` — bumps, so each round evaluates the latency profile once
+and all call sites share the result.  Cached arrays are returned with
+``writeable=False``; callers that need a scratch buffer must copy.
+
+The contract for code that mutates ``state.loads`` or ``state.assignment``
+directly (none in this library — events and the open-system runner build
+fresh states) is to call :meth:`invalidate_caches` afterwards.  The cache
+can be globally disabled (:func:`caching_disabled`) so differential tests
+can prove cached and uncached runs are bit-identical.
 """
 
 from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Callable
 
 import numpy as np
 
 from .instance import Instance
 
-__all__ = ["State"]
+__all__ = ["State", "caching_disabled"]
+
+
+class _CacheSwitch:
+    """Process-global cache toggle (differential testing hook)."""
+
+    __slots__ = ("enabled",)
+
+    def __init__(self):
+        self.enabled = True
+
+
+CACHING = _CacheSwitch()
+
+
+@contextmanager
+def caching_disabled():
+    """Temporarily disable all :class:`State` query memoization.
+
+    Every query recomputes from ``loads``/``assignment`` on each call —
+    the uncached reference behaviour the equivalence tests compare against.
+    """
+    previous = CACHING.enabled
+    CACHING.enabled = False
+    try:
+        yield
+    finally:
+        CACHING.enabled = previous
+
+
+def _frozen(arr: np.ndarray) -> np.ndarray:
+    arr.setflags(write=False)
+    return arr
 
 
 class State:
     """Assignment of users to resources, with incremental load tracking."""
 
-    __slots__ = ("instance", "assignment", "loads")
+    __slots__ = ("instance", "assignment", "loads", "_version", "_cache")
 
     def __init__(self, instance: Instance, assignment: np.ndarray):
         assignment = np.asarray(assignment, dtype=np.int64)
@@ -48,6 +101,8 @@ class State:
         self.loads = np.bincount(
             assignment, weights=instance.weights, minlength=instance.n_resources
         )
+        self._version = 0
+        self._cache: dict = {}
 
     # -- constructors ------------------------------------------------------------
 
@@ -67,16 +122,22 @@ class State:
 
     @classmethod
     def worst_case_pile(cls, instance: Instance, resource: int = 0) -> "State":
-        """All users piled on one resource — the adversarial initial state."""
+        """All users piled on one resource — the adversarial initial state.
+
+        Under an access topology each user piles on ``resource`` when
+        accessible, else on its first (smallest-index) accessible resource;
+        both branches are vectorized over the flat access layout.
+        """
         if not (0 <= resource < instance.n_resources):
             raise ValueError("resource out of range")
         if instance.access is not None:
-            # Pile each user on its first accessible resource >= `resource`
-            # if possible, else its first accessible one.
-            assignment = np.empty(instance.n_users, dtype=np.int64)
-            for u in range(instance.n_users):
-                allowed = instance.access.allowed(u)
-                assignment[u] = resource if resource in allowed else allowed[0]
+            access = instance.access
+            users = np.arange(instance.n_users, dtype=np.int64)
+            has = access.contains(users, np.full(instance.n_users, resource, dtype=np.int64))
+            # choices is sorted per user, so the slice head is the first
+            # accessible resource.
+            first = access.choices[access.offsets[:-1]]
+            assignment = np.where(has, resource, first)
             return cls(instance, assignment)
         return cls(instance, np.full(instance.n_users, resource, dtype=np.int64))
 
@@ -85,21 +146,69 @@ class State:
         clone.instance = self.instance
         clone.assignment = self.assignment.copy()
         clone.loads = self.loads.copy()
+        clone._version = self._version
+        # Entries are (version, frozen array); the clone starts at the same
+        # version with identical data, so sharing the *values* is sound —
+        # the dict itself must be a fresh object so diverging versions
+        # never cross-pollinate.
+        clone._cache = dict(self._cache)
         return clone
+
+    # -- cache plumbing ----------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Generation counter: bumped by every mutation."""
+        return self._version
+
+    def invalidate_caches(self) -> None:
+        """Drop memoized queries after direct mutation of ``loads``/``assignment``.
+
+        All mutation through :meth:`apply_migrations`/:meth:`move_user`
+        invalidates automatically; this hook exists for external code that
+        edits the arrays in place.
+        """
+        self._version += 1
+
+    def cached(self, key: str, compute: Callable[["State"], object]):
+        """Memoize ``compute(self)`` under ``key`` for the current version.
+
+        Shared infrastructure for derived per-round quantities (e.g.
+        :func:`repro.core.stability.satisfied_resident_min`).  The computed
+        value is returned as-is; array values should be frozen by the
+        caller if they are handed out repeatedly.
+        """
+        if not CACHING.enabled:
+            return compute(self)
+        hit = self._cache.get(key)
+        if hit is not None and hit[0] == self._version:
+            return hit[1]
+        value = compute(self)
+        self._cache[key] = (self._version, value)
+        return value
 
     # -- queries -----------------------------------------------------------------
 
     def resource_latencies(self) -> np.ndarray:
-        """``ell_r(x_r)`` for every resource."""
-        return self.instance.latencies.evaluate(self.loads)
+        """``ell_r(x_r)`` for every resource (cached, read-only)."""
+        return self.cached(
+            "resource_latencies",
+            lambda s: _frozen(s.instance.latencies.evaluate(s.loads)),
+        )
 
     def user_latencies(self) -> np.ndarray:
-        """Latency experienced by each user (latency of its resource)."""
-        return self.resource_latencies()[self.assignment]
+        """Latency experienced by each user (cached, read-only)."""
+        return self.cached(
+            "user_latencies",
+            lambda s: _frozen(s.resource_latencies()[s.assignment]),
+        )
 
     def satisfied_mask(self) -> np.ndarray:
-        """Boolean mask: is each user's QoS requirement met?"""
-        return self.user_latencies() <= self.instance.thresholds
+        """Boolean mask: is each user's QoS requirement met? (cached, read-only)"""
+        return self.cached(
+            "satisfied_mask",
+            lambda s: _frozen(s.user_latencies() <= s.instance.thresholds),
+        )
 
     def unsatisfied_users(self) -> np.ndarray:
         return np.nonzero(~self.satisfied_mask())[0]
@@ -145,6 +254,11 @@ class State:
         Self-moves (target equals current resource) are ignored.  Returns
         the number of users that actually changed resource.  Loads are
         updated incrementally with two weighted bincounts — O(#movers + m).
+
+        Every pair is validated — user and target in range, target
+        accessible under the instance's access topology — with the same
+        ``ValueError`` the constructor raises, so a buggy protocol cannot
+        silently corrupt the state between ``check_invariants`` calls.
         """
         users = np.asarray(users, dtype=np.int64)
         targets = np.asarray(targets, dtype=np.int64)
@@ -152,8 +266,20 @@ class State:
             raise ValueError("users and targets must have matching shapes")
         if users.size == 0:
             return 0
+        if users.min() < 0 or users.max() >= self.instance.n_users:
+            raise ValueError("user index out of range")
+        if targets.min() < 0 or targets.max() >= self.instance.n_resources:
+            raise ValueError("target references an out-of-range resource")
         if np.unique(users).size != users.size:
             raise ValueError("a user may migrate at most once per application")
+        if self.instance.access is not None:
+            ok = self.instance.access.contains(users, targets)
+            if not np.all(ok):
+                bad = int(np.nonzero(~ok)[0][0])
+                raise ValueError(
+                    f"user {int(users[bad])} assigned to inaccessible resource "
+                    f"{int(targets[bad])}"
+                )
         moving = self.assignment[users] != targets
         users = users[moving]
         targets = targets[moving]
@@ -164,12 +290,28 @@ class State:
         self.loads -= np.bincount(self.assignment[users], weights=w, minlength=m)
         self.loads += np.bincount(targets, weights=w, minlength=m)
         self.assignment[users] = targets
+        self._version += 1
         return int(users.size)
 
     def move_user(self, user: int, target: int) -> bool:
-        """Move a single user (sequential protocols). Returns True if moved."""
+        """Move a single user (sequential protocols). Returns True if moved.
+
+        Validates like :meth:`apply_migrations`: ``user`` and ``target``
+        must be in range (negative indices are rejected, not wrapped) and
+        ``target`` must be accessible to ``user``.
+        """
+        user = int(user)
+        target = int(target)
+        if not (0 <= user < self.instance.n_users):
+            raise ValueError("user out of range")
         if not (0 <= target < self.instance.n_resources):
             raise ValueError("target out of range")
+        if self.instance.access is not None and not self.instance.access.contains_one(
+            user, target
+        ):
+            raise ValueError(
+                f"user {user} assigned to inaccessible resource {target}"
+            )
         source = int(self.assignment[user])
         if source == target:
             return False
@@ -177,6 +319,7 @@ class State:
         self.loads[source] -= w
         self.loads[target] += w
         self.assignment[user] = target
+        self._version += 1
         return True
 
     # -- integrity ----------------------------------------------------------------

@@ -37,9 +37,17 @@ class Trajectory:
         return int(self.n_unsatisfied.size)
 
     def first_satisfying_round(self) -> int | None:
-        """First round index with zero unsatisfied users, or None."""
+        """Executed rounds until the first satisfying state, or None.
+
+        Trajectory entry ``k`` is the state *after* round ``k``'s step, i.e.
+        at round boundary ``k + 1`` — so the first zero entry at index ``k``
+        means the run became satisfying after ``k + 1`` rounds.  This aligns
+        with :attr:`RunResult.rounds <repro.sim.engine.RunResult.rounds>`:
+        for a satisfying run recorded from round 0,
+        ``result.rounds == result.trajectory.first_satisfying_round()``.
+        """
         hits = np.nonzero(self.n_unsatisfied == 0)[0]
-        return int(hits[0]) if hits.size else None
+        return int(hits[0]) + 1 if hits.size else None
 
     def total_moves(self) -> int:
         return int(self.n_moved.sum())

@@ -19,6 +19,7 @@ large enough that pickling overhead is negligible.
 
 from __future__ import annotations
 
+import json
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
@@ -27,7 +28,7 @@ from typing import Any
 from .engine import RunResult, run
 from .rng import seed_from_key
 
-__all__ = ["RunSpec", "run_spec", "replicate"]
+__all__ = ["RunSpec", "run_spec", "replicate", "spec_seed_key"]
 
 
 @dataclass(frozen=True)
@@ -107,22 +108,43 @@ def _default_workers() -> int:
     return max(1, min(cpus - 1, 8))
 
 
+def spec_seed_key(spec: RunSpec) -> str:
+    """Stable string identifying the *full* configuration of a spec.
+
+    Replication seeds are derived from this key, so two cells differing in
+    **any** field — generator kwargs included — get statistically
+    independent seed streams.  (Seeding from ``label or protocol`` alone,
+    as earlier versions did, silently reused one seed stream across every
+    unlabeled cell of a sweep: replications were correlated across cells
+    and across experiments.)
+    """
+    return json.dumps(spec.describe(), sort_keys=True, default=str)
+
+
 def replicate(
     spec: RunSpec,
     n_reps: int,
     *,
     base_seed: int = 0,
     workers: int | None = 0,
+    seed_key: str | None = None,
 ) -> list[RunResult]:
     """Run ``n_reps`` independent replications of ``spec``.
 
     ``workers=0`` (default) runs serially — the right choice inside tests
     and small benches; ``workers=None`` picks ``min(cpus - 1, 8)``;
     any other value sets the pool size explicitly.
+
+    Seeds are derived from ``base_seed`` plus :func:`spec_seed_key`, so
+    every distinct configuration gets its own stream.  Pass an explicit
+    ``seed_key`` to opt in to **common random numbers**: cells sharing the
+    same ``seed_key`` and ``base_seed`` see identical seed streams, the
+    right design for paired protocol comparisons on one workload.
     """
     if n_reps < 1:
         raise ValueError("n_reps must be >= 1")
-    seeds = [seed_from_key(base_seed, spec.label or spec.protocol, str(i)) for i in range(n_reps)]
+    key = seed_key if seed_key is not None else spec_seed_key(spec)
+    seeds = [seed_from_key(base_seed, key, str(i)) for i in range(n_reps)]
     if workers == 0 or workers == 1 or n_reps == 1:
         return [run_spec(spec, s) for s in seeds]
     pool_size = _default_workers() if workers is None else int(workers)

@@ -113,14 +113,31 @@ class Trace:
         return counts
 
 
+def _csv_cell(value: Any) -> str:
+    """One CSV cell: ``None`` becomes an empty cell (not the string
+    ``"None"``), and values containing separators are minimally quoted
+    per RFC 4180 (wrap in double quotes, double any embedded quotes)."""
+    if value is None:
+        return ""
+    text = str(_jsonable(value))
+    if any(c in text for c in (",", '"', "\n", "\r")):
+        return '"' + text.replace('"', '""') + '"'
+    return text
+
+
 def write_csv_series(
     path: str | Path, header: list[str], rows: list[list[Any]]
 ) -> Path:
-    """Tiny CSV writer for figure series (no quoting needs expected)."""
+    """Tiny CSV writer for figure series.
+
+    Missing cells (``None``, e.g. ``rounds_median`` of a never-satisfying
+    cell) are written empty, and cells containing commas/quotes/newlines
+    are quoted, so the output round-trips through any standard CSV reader.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    lines = [",".join(header)]
+    lines = [",".join(_csv_cell(h) for h in header)]
     for row in rows:
-        lines.append(",".join(str(_jsonable(v)) for v in row))
+        lines.append(",".join(_csv_cell(v) for v in row))
     path.write_text("\n".join(lines) + "\n")
     return path

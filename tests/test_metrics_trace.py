@@ -60,7 +60,10 @@ class TestTrajectory:
         )
 
     def test_first_satisfying_round(self):
-        assert self.make([3, 2, 0, 0]).first_satisfying_round() == 2
+        # Entry k is the state after round k's step, so the first zero at
+        # index 2 means the run satisfied after 3 executed rounds.
+        assert self.make([3, 2, 0, 0]).first_satisfying_round() == 3
+        assert self.make([0, 0]).first_satisfying_round() == 1
         assert self.make([3, 2, 1]).first_satisfying_round() is None
 
     def test_summary(self):
@@ -68,7 +71,7 @@ class TestTrajectory:
         assert s["rounds"] == 3
         assert s["total_moves"] == 3
         assert s["total_attempts"] == 6
-        assert s["first_satisfying_round"] == 2
+        assert s["first_satisfying_round"] == 3
 
 
 class TestTrace:
@@ -121,3 +124,26 @@ def test_write_csv_series(tmp_path):
     assert text[0] == "n,rounds"
     assert text[1] == "100,5"
     assert text[2] == "200,6.5"
+
+
+def test_write_csv_series_none_and_quoting_roundtrip(tmp_path):
+    """None -> empty cell; commas/quotes/newlines survive a stdlib reader."""
+    import csv
+
+    header = ["label", "rounds_median", "note"]
+    rows = [
+        ["qos-sampling", None, 'says "hi", twice'],
+        ["permit[d=2,probes]", 7, "line1\nline2"],
+        ["plain", 3.5, ""],
+    ]
+    path = write_csv_series(tmp_path / "series.csv", header, rows)
+
+    text = path.read_text()
+    assert "None" not in text  # the old writer emitted literal "None"
+
+    with open(path, newline="") as fh:
+        parsed = list(csv.reader(fh))
+    assert parsed[0] == header
+    assert parsed[1] == ["qos-sampling", "", 'says "hi", twice']
+    assert parsed[2] == ["permit[d=2,probes]", "7", "line1\nline2"]
+    assert parsed[3] == ["plain", "3.5", ""]

@@ -111,6 +111,69 @@ def test_apply_migrations_empty(small_uniform):
     assert state.apply_migrations(np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)) == 0
 
 
+def _access_instance():
+    return Instance(
+        thresholds=np.asarray([4.0, 4.0, 4.0]),
+        latencies=LatencyProfile.identical(3),
+        access=AccessMap([[0, 1], [1, 2], [2]], 3),
+    )
+
+
+def test_apply_migrations_rejects_inaccessible_target():
+    state = State(_access_instance(), np.asarray([0, 1, 2]))
+    # user 0 may reach {0, 1}; resource 2 is forbidden.
+    with pytest.raises(ValueError, match="inaccessible"):
+        state.apply_migrations(np.asarray([0]), np.asarray([2]))
+    # a valid batch must not be rejected
+    assert state.apply_migrations(np.asarray([0, 1]), np.asarray([1, 2])) == 2
+    assert_valid_state(state)
+
+
+def test_apply_migrations_rejects_mixed_batch_atomically():
+    state = State(_access_instance(), np.asarray([0, 1, 2]))
+    before = state.assignment.copy()
+    with pytest.raises(ValueError, match="inaccessible"):
+        # user 1 -> 2 is legal, user 2 -> 0 is not: nothing may be applied
+        state.apply_migrations(np.asarray([1, 2]), np.asarray([2, 0]))
+    np.testing.assert_array_equal(state.assignment, before)
+    assert_valid_state(state)
+
+
+def test_apply_migrations_rejects_out_of_range_user(small_uniform):
+    state = State(small_uniform, np.asarray([0] * 12))
+    # negative user indices used to wrap around silently
+    with pytest.raises(ValueError, match="user index out of range"):
+        state.apply_migrations(np.asarray([-1]), np.asarray([1]))
+    with pytest.raises(ValueError, match="user index out of range"):
+        state.apply_migrations(np.asarray([12]), np.asarray([1]))
+
+
+def test_apply_migrations_rejects_out_of_range_target(small_uniform):
+    state = State(small_uniform, np.asarray([0] * 12))
+    with pytest.raises(ValueError, match="out-of-range resource"):
+        state.apply_migrations(np.asarray([0]), np.asarray([4]))
+    with pytest.raises(ValueError, match="out-of-range resource"):
+        state.apply_migrations(np.asarray([0]), np.asarray([-1]))
+
+
+def test_move_user_rejects_inaccessible_target():
+    state = State(_access_instance(), np.asarray([0, 1, 2]))
+    with pytest.raises(ValueError, match="inaccessible"):
+        state.move_user(0, 2)
+    assert state.move_user(0, 1)
+    assert_valid_state(state)
+
+
+def test_move_user_rejects_out_of_range_user(small_uniform):
+    state = State(small_uniform, np.asarray([0] * 12))
+    # user -1 used to wrap to user 11 and corrupt its load accounting
+    with pytest.raises(ValueError, match="user out of range"):
+        state.move_user(-1, 1)
+    with pytest.raises(ValueError, match="user out of range"):
+        state.move_user(12, 1)
+    assert_valid_state(state)
+
+
 def test_move_user(small_uniform):
     state = State(small_uniform, np.asarray([0] * 12))
     assert state.move_user(3, 2)
