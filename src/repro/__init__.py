@@ -17,7 +17,7 @@ Quickstart::
     print(result.status, result.rounds)
 """
 
-from . import analysis, baselines, core, fluid, games, msgsim, sim, viz, workloads
+from . import analysis, baselines, core, fluid, games, msgsim, obs, sim, viz, workloads
 from .baselines import (
     SelfishRebalanceProtocol,
     opt_satisfied,
@@ -102,6 +102,7 @@ __all__ = [
     "sim",
     "msgsim",
     "fluid",
+    "obs",
     "viz",
     "workloads",
     "baselines",

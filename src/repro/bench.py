@@ -13,7 +13,11 @@ This harness times:
   fan out;
 - **query** cells: ``State.satisfied_mask`` calls/second with the
   generation-counter cache enabled vs. disabled — the direct measurement
-  of the memoization layer.
+  of the memoization layer;
+- **obs** cells: the telemetry hub's cost on the headline engine cell,
+  disabled (must be measurement noise, <2% vs. the committed baseline)
+  and enabled with the in-memory ring buffer (budget ≤5%); see
+  :mod:`repro.obs`.
 
 Results go to ``BENCH_engine.json`` (repo root by convention; CI uploads
 it as an artifact) plus a human-readable ASCII table on stdout.  Timings
@@ -190,6 +194,110 @@ def _time_replicate_cell(*, n: int, m: int, max_rounds: int, reps: int) -> dict[
     }
 
 
+def _time_obs_cell(
+    cell: dict[str, Any], *, n: int, m: int, max_rounds: int, repeats: int, seed: int = 0
+) -> dict[str, Any]:
+    """Telemetry overhead on one engine cell: hub disabled vs enabled.
+
+    The enabled run uses the in-memory ring buffer only (no JSONL sink) —
+    the configuration the ≤5% overhead budget is defined over; the
+    disabled number doubles as the <2% no-op regression check against the
+    committed baseline.  Cache hit/miss counters from the run ride along.
+
+    Noise discipline.  The true enabled cost is single-digit microseconds
+    per round against rounds of hundreds of microseconds — a ~1% effect
+    that an end-to-end before/after ratio cannot resolve on a shared
+    machine (observed run-to-run CPU-time noise here is ±10% with
+    multi-second load epochs; the ratio of two such measurements flaps
+    between -25% and +30%).  So the cell records both end-to-end
+    throughput numbers (best-of-``repeats``, interleaved, CPU time) for
+    trend tracking, but derives ``overhead_pct`` from a *direct*
+    measurement: a tight loop timing exactly what the engine adds per
+    round when the hub is enabled (the reused ``engine.round`` +
+    ``engine.protocol-step`` span pair plus one ``round`` event) minus
+    the disabled-side cost (null spans + ``active`` guard), divided by
+    the cell's per-round time.  The tiny pure-Python loop amortizes over
+    tens of thousands of iterations and is stable to a few percent
+    *relative* — a few hundredths of a point on the reported overhead —
+    where the end-to-end ratio is unusable.
+    """
+    from .obs import HUB
+    from .sim.engine import run
+
+    instance, protocol, schedule = _build_cell(cell, n, m)
+
+    def one_run() -> tuple[float, Any]:
+        started = time.process_time()
+        result = run(
+            instance,
+            protocol,
+            seed=seed,
+            schedule=schedule,
+            max_rounds=max_rounds,
+            initial="pile",
+        )
+        elapsed = time.process_time() - started
+        return elapsed, result
+
+    best_off = float("inf")
+    best_on = float("inf")
+    last_result = None
+    counters: dict[str, float] = {}
+    for _ in range(repeats):
+        t_off, result = one_run()
+        best_off = min(best_off, t_off)
+        with HUB.enabled(label="bench-obs"):
+            t_on, result = one_run()
+            sample_counters = dict(HUB.counters)
+        if t_on < best_on:
+            best_on = t_on
+            counters = sample_counters
+        last_result = result
+    assert last_result is not None
+    rounds = max(1, last_result.rounds)
+
+    def per_round_cost(iters: int = 50_000) -> float:
+        round_span = HUB.span("engine.round")
+        step_span = HUB.span("engine.protocol-step")
+        started = time.process_time()
+        for i in range(iters):
+            with round_span:
+                with step_span:
+                    pass
+            if HUB.active:
+                HUB.event(
+                    "round",
+                    {"round": i, "moved": 0, "attempted": 0, "messages": 0, "unsatisfied": 0},
+                )
+        return (time.process_time() - started) / iters
+
+    cost_off = per_round_cost()  # null spans + guard: the disabled tax
+    with HUB.enabled(label="bench-obs-micro"):
+        cost_on = per_round_cost()
+    round_seconds = best_off / rounds
+    overhead_pct = 100.0 * max(0.0, cost_on - cost_off) / round_seconds
+
+    return {
+        "kind": "obs",
+        "name": f"obs/overhead@{cell['name']}",
+        "generator": cell["generator"],
+        "protocol": cell["protocol"],
+        "schedule": cell["schedule"],
+        "n_users": instance.n_users,
+        "n_resources": instance.n_resources,
+        "seconds": best_on,
+        "rounds": int(last_result.rounds),
+        "status": last_result.status,
+        "enabled_rounds_per_sec": rounds / best_on,
+        "disabled_rounds_per_sec": rounds / best_off,
+        "per_round_cost_enabled_us": cost_on * 1e6,
+        "per_round_cost_disabled_us": cost_off * 1e6,
+        "overhead_pct": overhead_pct,
+        "cache_hits": int(counters.get("state.cache_hits", 0)),
+        "cache_misses": int(counters.get("state.cache_misses", 0)),
+    }
+
+
 def _time_query_cell(*, n: int, m: int, calls: int = 200) -> dict[str, Any]:
     from .core.state import State, caching_disabled
     from .registry import build_instance
@@ -249,6 +357,18 @@ def run_bench(
         _time_replicate_cell(n=n, m=m, max_rounds=params["max_rounds"], reps=params["reps"])
     )
     cells.append(_time_query_cell(n=n, m=m))
+    cells.append(
+        _time_obs_cell(
+            next(c for c in ENGINE_CELLS if c["name"] == "unit/sampling-slackrate/sync"),
+            n=n,
+            m=m,
+            max_rounds=4 * params["max_rounds"],
+            repeats=max(n_repeats, 5),
+            seed=seed,
+        )
+    )
+
+    from .obs import provenance_stamp
 
     payload = {
         "schema": "bench-engine/v1",
@@ -258,6 +378,7 @@ def run_bench(
         "python": sys.version.split()[0],
         "numpy": np.__version__,
         "platform": platform.platform(),
+        "provenance": provenance_stamp(seed_key=str(seed)),
         "cells": cells,
     }
     out_path = Path(out)
@@ -277,6 +398,12 @@ def render_bench(payload: dict[str, Any]) -> str:
         elif c["kind"] == "replicate":
             metric = f"{c['reps_per_sec']:,.2f} reps/s"
             detail = f"{c['reps']} reps, {c['total_rounds']} rounds"
+        elif c["kind"] == "obs":
+            metric = f"{c['overhead_pct']:+.2f}% overhead"
+            detail = (
+                f"{c['enabled_rounds_per_sec']:,.0f} on / "
+                f"{c['disabled_rounds_per_sec']:,.0f} off rounds/s"
+            )
         else:
             metric = f"{c['cached_calls_per_sec']:,.0f} calls/s"
             detail = f"cache speedup x{c['cache_speedup']:,.0f}"

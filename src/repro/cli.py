@@ -10,6 +10,8 @@ Installed as ``repro-qoslb`` (also ``python -m repro``)::
     repro-qoslb fluid --n 100000 --m 64      # mean-field trajectory forecast
     repro-qoslb churn --rho 0.9              # steady-state QoS under churn
     repro-qoslb bench --scale smoke          # perf harness -> BENCH_engine.json
+    repro-qoslb trend BENCH_*.json           # perf trend across bench artifacts
+    repro-qoslb trace-report run.jsonl       # summarize an obs event file
     repro-qoslb demo                         # 30-second guided tour
 """
 
@@ -116,22 +118,56 @@ def _cmd_all(args: argparse.Namespace) -> int:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
+    from .obs import HUB
     from .registry import build_instance, build_protocol, build_schedule
     from .sim.engine import run
 
     instance = build_instance(args.generator, **_kv_args(args.gen_arg or []))
     protocol = build_protocol(args.protocol, **_kv_args(args.proto_arg or []))
     schedule = build_schedule(args.schedule, **_kv_args(args.sched_arg or []))
-    result = run(
-        instance,
-        protocol,
-        seed=args.seed,
-        schedule=schedule,
-        max_rounds=args.max_rounds,
-        initial=args.initial,
-    )
+    obs_out = getattr(args, "obs_out", None)
+    if obs_out:
+        HUB.enable(
+            obs_out,
+            command="simulate",
+            generator=args.generator,
+            protocol=args.protocol,
+            seed=args.seed,
+        )
+    try:
+        result = run(
+            instance,
+            protocol,
+            seed=args.seed,
+            schedule=schedule,
+            max_rounds=args.max_rounds,
+            initial=args.initial,
+        )
+    finally:
+        if obs_out:
+            HUB.disable()
     print(json.dumps(result.summary(), indent=2, default=str))
+    if obs_out:
+        print(f"[obs events -> {obs_out}]", file=sys.stderr)
     return 0 if result.converged else 2
+
+
+def _cmd_trend(args: argparse.Namespace) -> int:
+    from .obs import render_trend
+
+    paths = [Path(p) for p in args.paths] or sorted(Path(".").glob("BENCH_engine*.json"))
+    if not paths:
+        print("no bench artifacts found (expected BENCH_engine*.json)", file=sys.stderr)
+        return 2
+    print(render_trend(paths))
+    return 0
+
+
+def _cmd_trace_report(args: argparse.Namespace) -> int:
+    from .obs import render_report, summarize_events
+
+    print(render_report(summarize_events(args.path), top=args.top))
+    return 0
 
 
 def _cmd_fluid(args: argparse.Namespace) -> int:
@@ -267,6 +303,11 @@ def main(argv: list[str] | None = None) -> int:
     p_sim.add_argument("--seed", type=int, default=0)
     p_sim.add_argument("--max-rounds", type=int, default=100_000)
     p_sim.add_argument("--initial", choices=("random", "pile"), default="random")
+    p_sim.add_argument(
+        "--obs-out",
+        metavar="PATH",
+        help="record telemetry (spans, counters, per-round events) to this JSONL file",
+    )
     p_sim.set_defaults(fn=_cmd_simulate)
 
     p_fluid = sub.add_parser("fluid", help="mean-field trajectory forecast")
@@ -297,6 +338,23 @@ def main(argv: list[str] | None = None) -> int:
     p_bench.add_argument("--repeats", type=int, default=None)
     p_bench.add_argument("--seed", type=int, default=0)
     p_bench.set_defaults(fn=_cmd_bench)
+
+    p_trend = sub.add_parser(
+        "trend", help="render a perf trend table over BENCH_engine.json artifacts"
+    )
+    p_trend.add_argument(
+        "paths",
+        nargs="*",
+        help="bench artifacts (default: BENCH_engine*.json in the current directory)",
+    )
+    p_trend.set_defaults(fn=_cmd_trend)
+
+    p_report = sub.add_parser(
+        "trace-report", help="summarize an obs-events/v1 JSONL telemetry file"
+    )
+    p_report.add_argument("path", help="event file written by the telemetry hub")
+    p_report.add_argument("--top", type=int, default=12, help="spans shown (by total time)")
+    p_report.set_defaults(fn=_cmd_trace_report)
 
     sub.add_parser("demo", help="30-second guided tour").set_defaults(fn=_cmd_demo)
 

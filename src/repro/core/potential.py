@@ -18,6 +18,11 @@ experiments can measure the drift empirically (see
   ``sum_r sum_{k<=x_r} ell_r(k)``; exact for sequential best-response
   (every improving move strictly decreases it), included for the
   game-theoretic baselines.
+
+All three computed potentials are memoized on the state's generation
+counter (``potential/...`` cache keys): recorders that sample several
+potentials per round, and drift analyses that re-query between moves, hit
+the same value without recomputation.
 """
 
 from __future__ import annotations
@@ -53,6 +58,10 @@ def overload_potential(state: State) -> float:
 
     Requires unit weights (the combinatorial count is per-user).
     """
+    return state.cached("potential/overload", _compute_overload_potential)
+
+
+def _compute_overload_potential(state: State) -> float:
     inst = state.instance
     if not inst.unit_weights:
         raise NotImplementedError("overload_potential requires unit weights")
@@ -81,6 +90,10 @@ def violation_mass(state: State) -> float:
     saturated ``+inf``-latency resources contribute the instance's maximum
     threshold instead, to keep the potential finite and comparable).
     """
+    return state.cached("potential/violation_mass", _compute_violation_mass)
+
+
+def _compute_violation_mass(state: State) -> float:
     lat = state.user_latencies()
     q = state.instance.thresholds
     cap = float(q.max())
@@ -96,6 +109,10 @@ def rosenthal_potential(state: State) -> float:
     ``b - a``.  Defined for unit weights; infinite terms (saturated M/M/1
     or over-capacity resources) propagate as ``+inf``.
     """
+    return state.cached("potential/rosenthal", _compute_rosenthal_potential)
+
+
+def _compute_rosenthal_potential(state: State) -> float:
     inst = state.instance
     if not inst.unit_weights:
         raise NotImplementedError("rosenthal_potential requires unit weights")

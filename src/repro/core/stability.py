@@ -89,7 +89,23 @@ def blocked_mask(state: State, *, polite: bool = False) -> np.ndarray:
     ``ell_r(x_r + w_u) <= q_u`` (and, when ``polite``, also
     ``<= satisfied_resident_min(r)``).  Satisfied users are never blocked
     (the mask is False for them).
+
+    Memoized per stability flavour on the state's generation counter
+    (read-only result): quiescence checks and stability-censused sweeps
+    call it repeatedly between moves, and the restricted-access path is a
+    Python loop over unsatisfied users.
     """
+    key = "blocked_mask/polite" if polite else "blocked_mask/selfish"
+
+    def compute(s: State) -> np.ndarray:
+        mask = _compute_blocked_mask(s, polite)
+        mask.setflags(write=False)
+        return mask
+
+    return state.cached(key, compute)
+
+
+def _compute_blocked_mask(state: State, polite: bool) -> np.ndarray:
     inst = state.instance
     n = inst.n_users
     unsat = ~state.satisfied_mask()

@@ -39,7 +39,37 @@ import numpy as np
 
 from .instance import Instance
 
-__all__ = ["State", "caching_disabled"]
+__all__ = ["State", "caching_disabled", "cache_stats", "reset_cache_stats", "CACHE_STATS"]
+
+
+class _CacheStats:
+    """Process-global hit/miss tally for the query memoization layer.
+
+    Two bare integer increments per :meth:`State.cached` call — cheap
+    enough to stay always-on, so the telemetry layer (:mod:`repro.obs`)
+    and the bench harness can report cache effectiveness without adding a
+    branch to the hot path.  With caching disabled every call tallies as a
+    miss (it recomputes).
+    """
+
+    __slots__ = ("hits", "misses")
+
+    def __init__(self):
+        self.hits = 0
+        self.misses = 0
+
+
+CACHE_STATS = _CacheStats()
+
+
+def cache_stats() -> dict[str, int]:
+    """Cumulative query-cache hits/misses for this process."""
+    return {"hits": CACHE_STATS.hits, "misses": CACHE_STATS.misses}
+
+
+def reset_cache_stats() -> None:
+    CACHE_STATS.hits = 0
+    CACHE_STATS.misses = 0
 
 
 class _CacheSwitch:
@@ -179,10 +209,13 @@ class State:
         caller if they are handed out repeatedly.
         """
         if not CACHING.enabled:
+            CACHE_STATS.misses += 1
             return compute(self)
         hit = self._cache.get(key)
         if hit is not None and hit[0] == self._version:
+            CACHE_STATS.hits += 1
             return hit[1]
+        CACHE_STATS.misses += 1
         value = compute(self)
         self._cache[key] = (self._version, value)
         return value

@@ -58,12 +58,20 @@ def cell(
     base_seed: int = 0,
     workers: int | None = 0,
     label: str = "",
+    seed_key: str | None = None,
 ) -> list[RunResult]:
     """Run one experiment cell (a spec replicated ``n_reps`` times).
 
     ``initial`` defaults to the adversarial pile start: convergence *time*
     is only interesting from far away (random initial states of slack
     instances are often already nearly satisfying).
+
+    ``seed_key`` opts into **common random numbers**: paired designs that
+    compare protocol arms on the *same* workload should pass one key per
+    workload so every arm replays the same seed stream and the contrast is
+    protocol-only (see :func:`repro.sim.parallel.replicate`).  Leave it
+    ``None`` for unpaired sweeps — each configuration then draws its own
+    independent stream.
     """
     spec = RunSpec(
         generator=generator,
@@ -76,7 +84,9 @@ def cell(
         initial=initial,
         label=label,
     )
-    return replicate(spec, n_reps, base_seed=base_seed, workers=workers)
+    return replicate(
+        spec, n_reps, base_seed=base_seed, workers=workers, seed_key=seed_key
+    )
 
 
 def convergence_stats(results: Sequence[RunResult]) -> dict[str, Any]:

@@ -22,6 +22,7 @@ from ..fluid.model import FluidSystem, run_fluid
 from ..registry import build_instance, build_protocol
 from ..sim.engine import run as run_engine
 from ..sim.metrics import Recorder
+from ..sim.rng import seed_from_key
 from .common import ExperimentResult, cell, convergence_stats
 
 __all__ = ["f10_multi_probe", "f11_fluid_limit", "f12_churn"]
@@ -236,6 +237,11 @@ def f12_churn(
         for proto in protocols:
             sats, p10s, pops, mv = [], [], [], []
             for rep in range(n_reps):
+                # Seed keyed by (rho, rep) but NOT by protocol: the two
+                # arms replay the same arrival/departure stream (common
+                # random numbers).  The previous ``hash((rho, proto))``
+                # seed was also irreproducible across interpreter runs —
+                # str hashing is salted by PYTHONHASHSEED.
                 result = run_open_system(
                     m=m,
                     arrival_rate=lam,
@@ -244,7 +250,7 @@ def f12_churn(
                     protocol=build_protocol(proto),
                     rounds=rounds,
                     warmup=warmup,
-                    seed=50_000 + 97 * rep + hash((rho, proto)) % 10_000,
+                    seed=seed_from_key(50_000, "f12", f"{rho:g}", str(rep)),
                 )
                 sats.append(result.steady_satisfied_fraction)
                 p10s.append(result.p10_satisfied_fraction)

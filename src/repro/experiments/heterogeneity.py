@@ -92,6 +92,9 @@ def f4_hetero_users(
     stats_map: dict[tuple[str, str], dict] = {}
     for wl_label, gen, gen_kwargs, init in workloads:
         for proto in protocols:
+            # Paired design: all protocol arms replay one seed stream per
+            # workload (common random numbers), so arm contrasts are
+            # protocol-only.
             stats = convergence_stats(
                 cell(
                     generator=gen,
@@ -102,6 +105,7 @@ def f4_hetero_users(
                     initial=init,
                     workers=workers,
                     label=f"f4-{wl_label}-{proto}",
+                    seed_key=f"f4/{wl_label}",
                 )
             )
             stats_map[(wl_label, proto)] = stats
@@ -173,6 +177,8 @@ def f5_hetero_resources(
     stats_map: dict[tuple[str, str], dict] = {}
     for wl_label, gen, gen_kwargs in workloads:
         for proto in protocols:
+            # Paired protocol arms per resource family (common random
+            # numbers; see experiments/common.cell).
             stats = convergence_stats(
                 cell(
                     generator=gen,
@@ -182,6 +188,7 @@ def f5_hetero_resources(
                     max_rounds=max_rounds,
                     workers=workers,
                     label=f"f5-{wl_label}-{proto}",
+                    seed_key=f"f5/{wl_label}",
                 )
             )
             stats_map[(wl_label, proto)] = stats
@@ -258,6 +265,7 @@ def t2_infeasible(
         opt = opt_satisfied(inst)
         for initial in ("pile", "random"):
             for proto in protocols:
+                # Paired protocol arms per (factor, start) workload.
                 results = cell(
                     generator="overloaded",
                     generator_kwargs={"n": n, "m": m, "q": float(q)},
@@ -267,6 +275,7 @@ def t2_infeasible(
                     initial=initial,
                     workers=workers,
                     label=f"t2-{factor}-{initial}-{proto}",
+                    seed_key=f"t2/{factor}/{initial}",
                 )
                 stats = convergence_stats(results)
                 stats_map[(factor, initial, proto)] = stats

@@ -55,6 +55,9 @@ def t1_protocols(
     from ..registry import build_protocol
 
     for label, name, kwargs in protocols or DEFAULT_PROTOCOLS:
+        # Paired design: every protocol row replays the same seed stream
+        # on the one shared workload (common random numbers), so the table
+        # contrasts protocols, not seed draws.
         stats = convergence_stats(
             cell(
                 generator="uniform_slack",
@@ -65,6 +68,7 @@ def t1_protocols(
                 max_rounds=max_rounds,
                 workers=workers,
                 label=f"t1-{label}",
+                seed_key="t1/uniform-low-slack",
             )
         )
         per_protocol[label] = stats
@@ -122,6 +126,8 @@ def f6_rate_ablation(
     medians: dict[str, float | None] = {}
 
     def add(label: str, protocol_kwargs: dict) -> None:
+        # Paired rate arms on the one shared workload (common random
+        # numbers): the U-shape is a within-seed contrast.
         stats = convergence_stats(
             cell(
                 generator="uniform_slack",
@@ -132,6 +138,7 @@ def f6_rate_ablation(
                 max_rounds=max_rounds,
                 workers=workers,
                 label=f"f6-{label}",
+                seed_key="f6/uniform-low-slack",
             )
         )
         medians[label] = stats["rounds_median"]

@@ -19,6 +19,7 @@ from typing import Callable, Protocol as TypingProtocol
 
 import numpy as np
 
+from ..obs import HUB as _OBS
 from ..sim.rng import make_rng
 from .messages import Message
 
@@ -181,13 +182,28 @@ class Network:
         ``stop_condition`` is an *observer* (measurement oracle) evaluated
         every ``check_every`` events — it may read global state for
         experiment accounting, but agents never can.
+
+        Telemetry: the whole delivery loop runs under one
+        ``msgsim.deliver`` span; per-event hub calls would dominate the
+        loop, so delivered-event totals are accumulated locally and pushed
+        as counters once at exit.
         """
-        for count in range(1, max_events + 1):
-            if self._queue and self._queue[0].time > max_time:
-                return "max_time"
-            if not self.step():
-                return "drained"
-            if stop_condition is not None and count % check_every == 0:
-                if stop_condition(self):
-                    return "stopped"
-        return "max_events"
+        reason = "max_events"
+        delivered = 0
+        with _OBS.span("msgsim.deliver"):
+            for count in range(1, max_events + 1):
+                if self._queue and self._queue[0].time > max_time:
+                    reason = "max_time"
+                    break
+                if not self.step():
+                    reason = "drained"
+                    break
+                delivered = count
+                if stop_condition is not None and count % check_every == 0:
+                    if stop_condition(self):
+                        reason = "stopped"
+                        break
+        if _OBS.active:
+            _OBS.count("msgsim.events_delivered", delivered)
+            _OBS.gauge("msgsim.clock", self.now)
+        return reason

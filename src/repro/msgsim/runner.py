@@ -32,6 +32,7 @@ import numpy as np
 
 from ..core.instance import Instance
 from ..core.state import State
+from ..obs import HUB as _OBS
 from ..sim.rng import make_rng
 from .agents import ResourceAgent, UserAgent, user_id
 from .faults import FaultPlan, UnreliableNetwork, certify_message_conservation
@@ -207,9 +208,10 @@ def run_message_sim(
             return False
         return _snapshot_state(instance, users).is_satisfying()
 
-    reason = net.run(
-        max_time=max_time, max_events=max_events, stop_condition=satisfied
-    )
+    with _OBS.span("msgsim.run"):
+        reason = net.run(
+            max_time=max_time, max_events=max_events, stop_condition=satisfied
+        )
     final = _snapshot_state(instance, users)
     status = "satisfying" if (reason == "stopped" or final.is_satisfying()) else (
         "max_time" if reason == "max_time" else "max_events"
@@ -218,6 +220,28 @@ def run_message_sim(
         conservation_ok, issues = certify_message_conservation(resources, users)
     else:
         conservation_ok, issues = None, ["run ended with moves still in flight"]
+    if _OBS.active:
+        _OBS.count("msgsim.runs")
+        _OBS.count("msgsim.messages", net.total_messages)
+        _OBS.count("msgsim.moves", sum(u.moves for u in users))
+        _OBS.count("msgsim.retries", sum(getattr(u, "retries", 0) for u in users))
+        fault_counts = dict(getattr(net, "fault_counts", {}))
+        _OBS.count("msgsim.faults", sum(fault_counts.values()))
+        _OBS.event(
+            "msgsim",
+            {
+                "status": status,
+                "time": net.now,
+                "protocol": protocol,
+                "n_users": instance.n_users,
+                "n_resources": instance.n_resources,
+                "messages": net.total_messages,
+                "message_counts": dict(net.message_counts),
+                "fault_counts": fault_counts,
+                "conservation_ok": conservation_ok,
+                "seed": seed,
+            },
+        )
     return MessageSimResult(
         status=status,
         time=net.now,

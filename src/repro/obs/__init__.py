@@ -1,0 +1,34 @@
+"""Runtime observability: telemetry hub, provenance stamps, trend/report.
+
+Zero-dependency, process-local instrumentation for the simulators (see
+:mod:`repro.obs.hub` for the contract).  Quickstart::
+
+    from repro import obs
+
+    with obs.HUB.enabled("run.jsonl", label="demo"):
+        repro.run(instance, protocol, seed=0)
+    print(obs.render_report(obs.summarize_events("run.jsonl")))
+
+CLI surface: ``repro-qoslb trend`` (bench artifact series) and
+``repro-qoslb trace-report`` (one event file); ``repro-qoslb simulate
+--obs-out run.jsonl`` records a run.  See ``docs/OBSERVABILITY.md``.
+"""
+
+from .hub import HUB, OBS_EVENTS_SCHEMA, TelemetryHub
+from .provenance import PROVENANCE_FIELDS, git_sha, provenance_stamp
+from .report import render_report, summarize_events
+from .trend import load_bench_artifacts, render_trend, trend_rows
+
+__all__ = [
+    "HUB",
+    "TelemetryHub",
+    "OBS_EVENTS_SCHEMA",
+    "PROVENANCE_FIELDS",
+    "git_sha",
+    "provenance_stamp",
+    "render_report",
+    "summarize_events",
+    "load_bench_artifacts",
+    "render_trend",
+    "trend_rows",
+]

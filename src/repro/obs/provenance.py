@@ -1,0 +1,80 @@
+"""Provenance stamps: pin every artifact to the code that produced it.
+
+A reproduction's artifacts — traces, bench records, telemetry event files —
+outlive the working tree that wrote them.  The stamp answers "which code,
+which toolchain, which configuration?" without requiring the reader to
+trust file timestamps: git commit, package and NumPy versions, interpreter
+and platform, plus any caller-supplied keys (the full ``spec_seed_key`` for
+traces, the root seed for benches).
+
+The git lookup shells out once per process and caches the answer; outside a
+repository (installed wheels, CI artifacts checked out shallowly) it
+degrades to ``"unknown"`` rather than failing — a stamp must never be the
+reason a run aborts.
+"""
+
+from __future__ import annotations
+
+import platform
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Any
+
+__all__ = ["git_sha", "provenance_stamp", "PROVENANCE_FIELDS"]
+
+#: Keys every stamp carries (pinned by the frozen-format tests).
+PROVENANCE_FIELDS = (
+    "git_sha",
+    "package_version",
+    "python",
+    "numpy",
+    "platform",
+    "created_unix",
+)
+
+_GIT_SHA: str | None = None
+
+
+def git_sha() -> str:
+    """The current commit (``git rev-parse HEAD``), cached; ``"unknown"``
+    when git or the repository is unavailable."""
+    global _GIT_SHA
+    if _GIT_SHA is None:
+        try:
+            _GIT_SHA = subprocess.run(
+                ["git", "rev-parse", "HEAD"],
+                cwd=Path(__file__).resolve().parent,
+                capture_output=True,
+                text=True,
+                timeout=5,
+                check=True,
+            ).stdout.strip() or "unknown"
+        except Exception:
+            _GIT_SHA = "unknown"
+    return _GIT_SHA
+
+
+def provenance_stamp(**extra: Any) -> dict[str, Any]:
+    """A fresh stamp dict; ``extra`` keys (e.g. ``spec_seed_key``) ride along.
+
+    Extra keys must not collide with the pinned :data:`PROVENANCE_FIELDS`.
+    """
+    import numpy as np
+
+    from .. import __version__
+
+    bad = set(extra) & set(PROVENANCE_FIELDS)
+    if bad:
+        raise ValueError(f"extra provenance keys shadow pinned fields: {sorted(bad)}")
+    stamp: dict[str, Any] = {
+        "git_sha": git_sha(),
+        "package_version": __version__,
+        "python": sys.version.split()[0],
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "created_unix": time.time(),
+    }
+    stamp.update(extra)
+    return stamp

@@ -1,0 +1,147 @@
+"""Summarize an ``obs-events/v1`` JSONL file (``repro-qoslb trace-report``).
+
+The event file of an instrumented run is an append-only log; this module
+folds it back into the questions an operator actually asks: *where did the
+time go* (top spans by cumulative seconds), *what did the run spend* (final
+counter totals), and *how did per-round message traffic distribute* (a
+histogram over the engine's ``round`` events).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+__all__ = ["summarize_events", "render_report"]
+
+
+def summarize_events(path: str | Path) -> dict[str, Any]:
+    """Parse one event file into an aggregate summary dict.
+
+    Span and counter aggregates prefer the summary lines the hub writes on
+    ``disable()``; when the file was cut short (crash, budget kill) they
+    are rebuilt from the raw per-event records, so a truncated log still
+    reports.
+    """
+    path = Path(path)
+    header: dict[str, Any] | None = None
+    spans_final: dict[str, dict[str, float]] | None = None
+    counters_final: dict[str, float] | None = None
+    gauges_final: dict[str, float] = {}
+    span_agg: dict[str, list[float]] = {}
+    counter_seen = 0
+    rounds: list[dict[str, Any]] = []
+    n_events = 0
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        n_events += 1
+        etype = record.get("type")
+        if etype == "meta":
+            header = record
+        elif etype == "span":
+            stats = span_agg.setdefault(record["name"], [0, 0.0, 0.0])
+            stats[0] += 1
+            stats[1] += record["dur"]
+            stats[2] = max(stats[2], record["dur"])
+        elif etype == "round":
+            rounds.append(record)
+        elif etype == "counters":
+            counters_final = record.get("counters", {})
+            gauges_final = record.get("gauges", {})
+            counter_seen += 1
+        elif etype == "spans":
+            spans_final = record.get("spans", {})
+    if header is None:
+        raise ValueError(f"{path}: no obs-events meta header (not an obs JSONL file?)")
+    schema = header.get("schema")
+    if schema != "obs-events/v1":
+        raise ValueError(f"{path}: expected schema obs-events/v1, got {schema!r}")
+    spans = spans_final if spans_final is not None else {
+        name: {"count": int(c), "total": t, "max": mx}
+        for name, (c, t, mx) in span_agg.items()
+    }
+    return {
+        "path": str(path),
+        "schema": schema,
+        "provenance": header.get("provenance", {}),
+        "meta": header.get("meta", {}),
+        "n_events": n_events,
+        "complete": spans_final is not None and counter_seen > 0,
+        "spans": spans,
+        "counters": counters_final or {},
+        "gauges": gauges_final,
+        "rounds": rounds,
+    }
+
+
+def render_report(summary: dict[str, Any], *, top: int = 12) -> str:
+    """Human-readable report of one summarized event file."""
+    import numpy as np
+
+    from ..analysis.tables import render_table
+    from ..viz.ascii import histogram, sparkline
+
+    prov = summary["provenance"]
+    lines = [
+        f"trace report — {summary['path']}",
+        f"  schema {summary['schema']}, {summary['n_events']} events"
+        + ("" if summary["complete"] else "  [truncated log: aggregates rebuilt]"),
+        f"  git {str(prov.get('git_sha', 'unknown'))[:12]}  "
+        f"repro {prov.get('package_version', '?')}  numpy {prov.get('numpy', '?')}  "
+        f"python {prov.get('python', '?')}",
+    ]
+    if summary["meta"]:
+        lines.append("  meta: " + json.dumps(summary["meta"], sort_keys=True, default=str))
+
+    spans = sorted(summary["spans"].items(), key=lambda kv: -kv[1]["total"])
+    if spans:
+        rows = [
+            [
+                name,
+                int(s["count"]),
+                f"{s['total']:.4f}",
+                f"{s['total'] / s['count']:.6f}" if s["count"] else "-",
+                f"{s['max']:.6f}",
+            ]
+            for name, s in spans[:top]
+        ]
+        lines.append("")
+        lines.append(
+            render_table(
+                ["span", "count", "total s", "mean s", "max s"],
+                rows,
+                title=f"top spans by time ({min(top, len(spans))} of {len(spans)})",
+            )
+        )
+
+    if summary["counters"] or summary["gauges"]:
+        rows = [
+            [name, "counter", f"{value:,.6g}"]
+            for name, value in sorted(summary["counters"].items())
+        ] + [
+            [name, "gauge", f"{value:,.6g}"]
+            for name, value in sorted(summary["gauges"].items())
+        ]
+        lines.append("")
+        lines.append(render_table(["name", "kind", "value"], rows, title="counter totals"))
+
+    rounds = summary["rounds"]
+    if rounds:
+        messages = np.asarray([r.get("messages", 0) for r in rounds], dtype=np.float64)
+        unsat = np.asarray([r.get("unsatisfied", np.nan) for r in rounds], dtype=np.float64)
+        lines.append("")
+        lines.append(
+            f"rounds observed: {len(rounds)}; messages/round "
+            f"min {messages.min():.0f} / mean {messages.mean():.1f} / max {messages.max():.0f}"
+        )
+        if np.isfinite(unsat).any():
+            lines.append(f"unsatisfied trend: {sparkline(unsat, lo=0.0)}")
+        if np.unique(messages).size > 1:
+            lines.append(histogram(messages, bins=10, title="per-round message histogram"))
+        else:
+            lines.append(f"per-round messages constant at {messages[0]:.0f}")
+    return "\n".join(lines)

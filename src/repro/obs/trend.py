@@ -1,0 +1,129 @@
+"""Trend renderer over a series of ``BENCH_engine.json`` artifacts.
+
+The benchmark harness accumulates one ``bench-engine/v1`` file per PR (CI
+uploads them as artifacts); this module turns a *directory or list* of
+those files into the missing piece — a per-cell trend table showing how
+rounds/sec, replicate throughput, the cache speedup and the telemetry
+overhead moved across the series.  Rendering is pure ASCII
+(:mod:`repro.viz.ascii`), usable in CI logs and terminals alike.
+
+CLI: ``repro-qoslb trend [paths...]`` (defaults to ``BENCH_engine*.json``
+in the current directory).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable
+
+__all__ = ["load_bench_artifacts", "trend_rows", "render_trend"]
+
+#: Cell kind -> (headline metric key, display unit, higher-is-better)
+_METRICS: dict[str, tuple[str, str]] = {
+    "engine": ("rounds_per_sec", "rounds/s"),
+    "replicate": ("reps_per_sec", "reps/s"),
+    "query": ("cache_speedup", "x speedup"),
+    "obs": ("enabled_rounds_per_sec", "rounds/s"),
+}
+
+
+def load_bench_artifacts(paths: Iterable[str | Path]) -> list[dict[str, Any]]:
+    """Load and chronologically sort ``bench-engine/v1`` payloads.
+
+    Files with a different ``schema`` raise — mixing incompatible formats
+    into one trend silently would be worse than failing loudly.
+    """
+    payloads = []
+    for p in paths:
+        payload = json.loads(Path(p).read_text())
+        schema = payload.get("schema")
+        if schema != "bench-engine/v1":
+            raise ValueError(f"{p}: expected schema bench-engine/v1, got {schema!r}")
+        payload["_path"] = str(p)
+        payloads.append(payload)
+    if not payloads:
+        raise ValueError("no bench artifacts to render")
+    payloads.sort(key=lambda p: p.get("created_unix", 0.0))
+    return payloads
+
+
+def trend_rows(payloads: list[dict[str, Any]]) -> list[dict[str, Any]]:
+    """One row per cell name: the metric series across the artifact series.
+
+    A cell absent from an artifact (older harness revisions) contributes
+    NaN at that position, so sparklines stay aligned with the series.
+    """
+    order: list[str] = []
+    kinds: dict[str, str] = {}
+    for payload in payloads:
+        for cell in payload["cells"]:
+            name = cell["name"]
+            if name not in kinds:
+                order.append(name)
+                kinds[name] = cell["kind"]
+    rows = []
+    for name in order:
+        kind = kinds[name]
+        metric_key, unit = _METRICS.get(kind, ("seconds", "s"))
+        series: list[float] = []
+        for payload in payloads:
+            hit = next((c for c in payload["cells"] if c["name"] == name), None)
+            value = hit.get(metric_key) if hit is not None else None
+            series.append(float("nan") if value is None else float(value))
+        rows.append(
+            {"name": name, "kind": kind, "metric": metric_key, "unit": unit, "series": series}
+        )
+    return rows
+
+
+def _fmt(value: float) -> str:
+    import math
+
+    if not math.isfinite(value):
+        return "-"
+    return f"{value:,.2f}" if abs(value) < 100 else f"{value:,.0f}"
+
+
+def render_trend(paths: Iterable[str | Path]) -> str:
+    """The full trend table for a series of bench artifacts."""
+    import math
+
+    import numpy as np
+
+    from ..analysis.tables import render_table
+    from ..viz.ascii import sparkline
+
+    payloads = load_bench_artifacts(paths)
+    rows = []
+    for entry in trend_rows(payloads):
+        series = np.asarray(entry["series"], dtype=np.float64)
+        finite = series[np.isfinite(series)]
+        first = float(finite[0]) if finite.size else float("nan")
+        last = float(finite[-1]) if finite.size else float("nan")
+        if finite.size >= 2 and first:
+            delta = f"{100.0 * (last - first) / abs(first):+.1f}%"
+        else:
+            delta = "-"
+        rows.append(
+            [
+                entry["name"],
+                entry["unit"],
+                sparkline(series) if series.size else "",
+                _fmt(first),
+                _fmt(last),
+                delta,
+            ]
+        )
+    stamps = [p.get("created_unix", 0.0) for p in payloads]
+    span_days = (max(stamps) - min(stamps)) / 86_400.0 if len(stamps) > 1 else 0.0
+    title = (
+        f"bench trend — {len(payloads)} artifact(s)"
+        + (f" spanning {span_days:.1f} days" if span_days and math.isfinite(span_days) else "")
+        + f", scale(s) {sorted({p['scale'] for p in payloads})}"
+    )
+    table = render_table(
+        ["cell", "metric", "trend (old→new)", "first", "last", "Δ"], rows, title=title
+    )
+    files = "\n".join(f"  [{i}] {p['_path']}" for i, p in enumerate(payloads))
+    return table + "\nartifacts (chronological):\n" + files

@@ -37,7 +37,8 @@ import numpy as np
 
 from ..core.instance import Instance
 from ..core.protocols.base import Protocol
-from ..core.state import State
+from ..core.state import CACHE_STATS, State
+from ..obs import HUB as _OBS
 from .events import Event
 from .metrics import Recorder, Trajectory
 from .rng import make_rng
@@ -176,56 +177,98 @@ def run(
     status = "max_rounds"
     rounds_executed = 0
     event_idx = 0
+    cache_hits0, cache_misses0 = CACHE_STATS.hits, CACHE_STATS.misses
+    # Span objects are hoisted out of the loop and reused (sequential
+    # re-entry is safe); per-round allocation would eat the overhead budget.
+    round_span = _OBS.span("engine.round")
+    step_span = _OBS.span("engine.protocol-step")
 
-    for round_index in range(max_rounds + 1):
-        # -- events due at this boundary ------------------------------------
-        applied_event = False
-        while event_idx < len(pending) and pending[event_idx].round_index <= round_index:
-            ev = pending[event_idx]
-            instance, state = ev.apply(instance, state, rng)
-            protocol.reset(instance, rng)
-            last_event_round = round_index
-            satisfying_round = None  # re-converge after perturbation
-            applied_event = True
-            event_idx += 1
-        if applied_event:
-            quiescence_dirty = True
+    with _OBS.span("engine.run"):
+        for round_index in range(max_rounds + 1):
+            # -- events due at this boundary --------------------------------
+            applied_event = False
+            while event_idx < len(pending) and pending[event_idx].round_index <= round_index:
+                ev = pending[event_idx]
+                instance, state = ev.apply(instance, state, rng)
+                protocol.reset(instance, rng)
+                last_event_round = round_index
+                satisfying_round = None  # re-converge after perturbation
+                applied_event = True
+                event_idx += 1
+            if applied_event:
+                quiescence_dirty = True
 
-        sat_mask = state.satisfied_mask()
-        all_satisfied = bool(np.all(sat_mask))
-        if all_satisfied and satisfying_round is None:
-            satisfying_round = round_index
-        if all_satisfied and event_idx >= len(pending):
-            status = "satisfying"
-            break
-        if round_index == max_rounds:
-            break  # budget exhausted; status stays "max_rounds"
+            with round_span:
+                sat_mask = state.satisfied_mask()
+                all_satisfied = bool(np.all(sat_mask))
+                if all_satisfied and satisfying_round is None:
+                    satisfying_round = round_index
+                if all_satisfied and event_idx >= len(pending):
+                    status = "satisfying"
+                    break
+                if round_index == max_rounds:
+                    break  # budget exhausted; status stays "max_rounds"
 
-        active = schedule.active_mask(round_index, instance.n_users, rng)
-        n_unsat_active = int(np.count_nonzero(active & ~sat_mask))
+                active = schedule.active_mask(round_index, instance.n_users, rng)
+                n_unsat_active = int(np.count_nonzero(active & ~sat_mask))
 
-        outcome = protocol.step(state, active, rng)
-        rounds_executed = round_index + 1
-        total_moves += outcome.n_moved
-        total_attempts += outcome.n_attempted
-        total_messages += n_unsat_active * phases
-
-        if recorder is not None:
-            recorder.record(round_index, state, outcome.n_moved, outcome.n_attempted)
-
-        # -- quiescence ------------------------------------------------------
-        if outcome.n_moved > 0:
-            quiescence_dirty = True
-        elif outcome.n_attempted == 0 and quiescence_dirty and event_idx >= len(pending):
-            verdict = protocol.is_quiescent(state)
-            if verdict:
-                status = "quiescent"
+                with step_span:
+                    outcome = protocol.step(state, active, rng)
                 rounds_executed = round_index + 1
-                break
-            if verdict is False:
-                # State unchanged during idle rounds; skip re-checks until
-                # something moves again.
-                quiescence_dirty = False
+                total_moves += outcome.n_moved
+                total_attempts += outcome.n_attempted
+                total_messages += n_unsat_active * phases
+
+                if recorder is not None:
+                    recorder.record(round_index, state, outcome.n_moved, outcome.n_attempted)
+
+                if _OBS.active:
+                    _OBS.event(
+                        "round",
+                        {
+                            "round": round_index,
+                            "moved": outcome.n_moved,
+                            "attempted": outcome.n_attempted,
+                            "messages": n_unsat_active * phases,
+                            "unsatisfied": state.n_unsatisfied,
+                        },
+                    )
+
+                # -- quiescence ---------------------------------------------
+                if outcome.n_moved > 0:
+                    quiescence_dirty = True
+                elif outcome.n_attempted == 0 and quiescence_dirty and event_idx >= len(pending):
+                    verdict = protocol.is_quiescent(state)
+                    if verdict:
+                        status = "quiescent"
+                        rounds_executed = round_index + 1
+                        break
+                    if verdict is False:
+                        # State unchanged during idle rounds; skip re-checks
+                        # until something moves again.
+                        quiescence_dirty = False
+
+    if _OBS.active:
+        _OBS.count("engine.runs")
+        _OBS.count("engine.rounds", rounds_executed)
+        _OBS.count("engine.moves", total_moves)
+        _OBS.count("engine.attempts", total_attempts)
+        _OBS.count("engine.messages", total_messages)
+        _OBS.count("state.cache_hits", CACHE_STATS.hits - cache_hits0)
+        _OBS.count("state.cache_misses", CACHE_STATS.misses - cache_misses0)
+        _OBS.event(
+            "run",
+            {
+                "status": status,
+                "rounds": rounds_executed,
+                "moves": total_moves,
+                "messages": total_messages,
+                "n_users": instance.n_users,
+                "n_resources": instance.n_resources,
+                "protocol": protocol.describe(),
+                "seed": seed_value,
+            },
+        )
 
     return RunResult(
         status=status,

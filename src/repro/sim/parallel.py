@@ -25,6 +25,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any
 
+from ..obs import HUB as _OBS
 from .engine import RunResult, run
 from .rng import seed_from_key
 
@@ -145,8 +146,28 @@ def replicate(
         raise ValueError("n_reps must be >= 1")
     key = seed_key if seed_key is not None else spec_seed_key(spec)
     seeds = [seed_from_key(base_seed, key, str(i)) for i in range(n_reps)]
-    if workers == 0 or workers == 1 or n_reps == 1:
-        return [run_spec(spec, s) for s in seeds]
-    pool_size = _default_workers() if workers is None else int(workers)
-    with ProcessPoolExecutor(max_workers=pool_size) as pool:
-        return list(pool.map(run_spec, [spec] * n_reps, seeds))
+    serial = workers == 0 or workers == 1 or n_reps == 1
+    # Telemetry: worker processes inherit a *disabled* hub, so the fanned-
+    # out path records the replicate-level span and counters only; serial
+    # replication additionally nests one engine.run span per rep.
+    with _OBS.span("parallel.replicate"):
+        if serial:
+            results = [run_spec(spec, s) for s in seeds]
+        else:
+            pool_size = _default_workers() if workers is None else int(workers)
+            with ProcessPoolExecutor(max_workers=pool_size) as pool:
+                results = list(pool.map(run_spec, [spec] * n_reps, seeds))
+    if _OBS.active:
+        _OBS.count("parallel.replications", n_reps)
+        _OBS.event(
+            "replicate",
+            {
+                "label": spec.label,
+                "protocol": spec.protocol,
+                "generator": spec.generator,
+                "n_reps": n_reps,
+                "serial": serial,
+                "statuses": sorted({r.status for r in results}),
+            },
+        )
+    return results

@@ -16,10 +16,23 @@ from typing import Any
 
 import numpy as np
 
+from ..obs.provenance import provenance_stamp
 from .engine import RunResult
-from .parallel import RunSpec
+from .parallel import RunSpec, spec_seed_key
 
-__all__ = ["Trace", "trajectory_to_dict", "write_csv_series"]
+__all__ = ["Trace", "TraceKeyError", "trajectory_to_dict", "write_csv_series"]
+
+
+class TraceKeyError(KeyError):
+    """A summary key absent from *every* result of a trace.
+
+    Subclasses :class:`KeyError` so existing ``except KeyError`` handlers
+    keep working, but renders its message verbatim (KeyError's default
+    ``str`` shows the ``repr`` of the args, mangling multi-line text).
+    """
+
+    def __str__(self) -> str:
+        return self.args[0] if self.args else ""
 
 
 def _jsonable(obj: Any) -> Any:
@@ -79,7 +92,18 @@ class Trace:
             if include_trajectories:
                 entry["trajectory"] = trajectory_to_dict(r)
             results.append(entry)
-        return cls(spec=spec_dict, results=results, meta=_jsonable(dict(meta)))
+        meta_dict = _jsonable(dict(meta))
+        # Every trace is stamped: which commit/toolchain produced it and
+        # the exact seed-derivation key of its spec (replay contract).
+        key = (
+            spec_seed_key(spec)
+            if isinstance(spec, RunSpec)
+            else json.dumps(spec_dict, sort_keys=True, default=str)
+        )
+        meta_dict.setdefault(
+            "provenance", _jsonable(provenance_stamp(spec_seed_key=key))
+        )
+        return cls(spec=spec_dict, results=results, meta=meta_dict)
 
     def save(self, path: str | Path) -> Path:
         path = Path(path)
@@ -100,7 +124,20 @@ class Trace:
     # -- quick aggregates --------------------------------------------------------
 
     def values(self, key: str) -> np.ndarray:
-        """Array of one summary field across results (None -> NaN)."""
+        """Array of one summary field across results (None -> NaN).
+
+        A key present in *some* results yields NaN where missing (ragged
+        summaries are legitimate — e.g. ``rounds_median`` of a cell that
+        never satisfied); a key present in **none** raises
+        :class:`TraceKeyError` listing the available keys, because an
+        all-NaN array silently poisons every downstream aggregate.
+        """
+        if self.results and not any(key in r for r in self.results):
+            available = sorted({k for r in self.results for k in r})
+            raise TraceKeyError(
+                f"summary key {key!r} is absent from all {len(self.results)} "
+                f"results of this trace; available keys: {', '.join(available)}"
+            )
         vals = [r.get(key) for r in self.results]
         return np.asarray(
             [np.nan if v is None else float(v) for v in vals], dtype=np.float64

@@ -110,6 +110,63 @@ def test_churn_command(capsys):
     assert "satisfied fraction" in out
 
 
+def test_simulate_obs_out_and_trace_report(tmp_path, capsys):
+    events = tmp_path / "run.jsonl"
+    code = main(
+        [
+            "simulate",
+            "--generator",
+            "uniform_slack",
+            "--gen-arg",
+            "n=64",
+            "--gen-arg",
+            "m=8",
+            "--gen-arg",
+            "slack=0.3",
+            "--initial",
+            "pile",
+            "--obs-out",
+            str(events),
+        ]
+    )
+    assert code == 0
+    captured = capsys.readouterr()
+    assert str(events) in captured.err
+    assert events.exists()
+    header = json.loads(events.read_text().splitlines()[0])
+    assert header["schema"] == "obs-events/v1"
+    assert header["meta"]["command"] == "simulate"
+
+    assert main(["trace-report", str(events), "--top", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "trace report" in out
+    assert "engine.round" in out
+    assert "counter totals" in out
+
+
+def test_trend_command(tmp_path, capsys, monkeypatch):
+    from repro.bench import run_bench
+
+    a = tmp_path / "BENCH_a.json"
+    b = tmp_path / "BENCH_b.json"
+    run_bench(scale="smoke", out=str(a), repeats=1)
+    run_bench(scale="smoke", out=str(b), repeats=1)
+    capsys.readouterr()  # drop bench chatter
+    assert main(["trend", str(a), str(b)]) == 0
+    out = capsys.readouterr().out
+    assert "bench trend" in out
+    assert "2 artifact(s)" in out
+    assert "unit/sampling/sync" in out
+    assert "obs/overhead" in out
+
+    # no artifacts anywhere -> exit 2, not a traceback
+    monkeypatch.chdir(tmp_path / "..")
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    monkeypatch.chdir(empty)
+    assert main(["trend"]) == 2
+
+
 def test_bad_kv_arg():
     with pytest.raises(SystemExit):
         main(["simulate", "--generator", "uniform_slack", "--gen-arg", "oops"])

@@ -164,6 +164,65 @@ def test_cache_copy_isolation(small_uniform):
     np.testing.assert_array_equal(clone.satisfied_mask(), expected_clone)
 
 
+@pytest.mark.parametrize("generator,generator_kwargs", GENERATOR_GRID)
+@pytest.mark.parametrize("polite", [False, True])
+def test_blocked_mask_cached_equals_uncached(generator, generator_kwargs, polite):
+    """blocked_mask memoization is invisible: same bits, frozen, invalidated."""
+    from repro.core.stability import blocked_mask
+    from repro.registry import build_instance
+
+    inst = build_instance(generator, **generator_kwargs)
+    state = State.worst_case_pile(inst)
+    cached = blocked_mask(state, polite=polite)
+    assert not cached.flags.writeable
+    assert blocked_mask(state, polite=polite) is cached  # memoized
+    with caching_disabled():
+        uncached = blocked_mask(state, polite=polite)
+    np.testing.assert_array_equal(cached, uncached)
+
+    # The two flavours are cached under distinct keys.
+    other = blocked_mask(state, polite=not polite)
+    assert other is not cached
+
+    if inst.access is None:
+        target = 1
+    else:
+        allowed = inst.access.allowed(0)
+        target = int(allowed[allowed != state.assignment[0]][0])
+    state.move_user(0, target)
+    fresh = blocked_mask(state, polite=polite)
+    assert fresh is not cached
+    with caching_disabled():
+        np.testing.assert_array_equal(fresh, blocked_mask(state, polite=polite))
+
+
+def test_potentials_cached_equals_uncached(small_uniform):
+    from repro.core.potential import (
+        overload_potential,
+        rosenthal_potential,
+        violation_mass,
+    )
+
+    state = State.worst_case_pile(small_uniform)
+    for fn in (overload_potential, violation_mass, rosenthal_potential):
+        cached = fn(state)
+        assert fn(state) == cached  # memoized value is stable
+        with caching_disabled():
+            assert fn(state) == cached
+
+    before = {fn.__name__: fn(state) for fn in (overload_potential, violation_mass)}
+    state.move_user(0, 1)
+    with caching_disabled():
+        expected = {
+            fn.__name__: fn(state) for fn in (overload_potential, violation_mass)
+        }
+    after = {fn.__name__: fn(state) for fn in (overload_potential, violation_mass)}
+    assert after == expected
+    # sanity: the move actually changed at least one potential (else the
+    # invalidation assertion above would be vacuous)
+    assert after != before
+
+
 def test_invalidate_caches_contract(small_uniform):
     """Direct array mutation + invalidate_caches() yields fresh queries."""
     state = State.worst_case_pile(small_uniform)

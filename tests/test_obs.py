@@ -1,0 +1,428 @@
+"""Telemetry hub, provenance stamps, trend renderer and trace report.
+
+Covers the observability subsystem's contracts: the disabled hub is a
+no-op (shared null span, nothing recorded), enable/disable bracket a
+well-formed ``obs-events/v1`` JSONL file, span aggregates nest and sum
+correctly, provenance stamps carry the pinned fields, and the two CLI-
+facing renderers (``trend``, ``trace-report``) work on real payloads.
+The frozen-format tests pin the ``obs-events/v1`` and ``bench-engine/v1``
+schema fields so accidental renames fail loudly here rather than in a
+consumer parsing last month's artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.obs import (
+    HUB,
+    OBS_EVENTS_SCHEMA,
+    PROVENANCE_FIELDS,
+    git_sha,
+    load_bench_artifacts,
+    provenance_stamp,
+    render_report,
+    render_trend,
+    summarize_events,
+    trend_rows,
+)
+from repro.obs.hub import _NULL_SPAN
+
+
+@pytest.fixture(autouse=True)
+def _hub_clean():
+    """Every test starts with a disabled, empty hub (aggregates survive
+    disable() by design, so residue from other modules must be cleared)."""
+    if HUB.active:
+        HUB.disable()
+    HUB.counters = {}
+    HUB.gauges = {}
+    HUB.span_stats = {}
+    HUB.ring.clear()
+    yield
+    if HUB.active:
+        HUB.disable()
+
+
+# -- disabled hub is a no-op -------------------------------------------------
+
+
+def test_disabled_hub_records_nothing():
+    assert not HUB.active
+    HUB.count("x")
+    HUB.gauge("g", 1.0)
+    HUB.event("e", {"k": 1})
+    with HUB.span("s"):
+        pass
+    assert HUB.counters == {}
+    assert HUB.gauges == {}
+    assert HUB.span_stats == {}
+    assert len(HUB.ring) == 0
+
+
+def test_disabled_span_is_shared_null_object():
+    # The hot-path contract: no allocation while disabled.
+    assert HUB.span("a") is _NULL_SPAN
+    assert HUB.span("b") is _NULL_SPAN
+
+
+def test_engine_run_with_disabled_hub_is_clean(small_uniform):
+    from repro.registry import build_protocol
+    from repro.sim.engine import run
+
+    result = run(small_uniform, build_protocol("qos-sampling"), seed=0, initial="pile")
+    assert result.status == "satisfying"
+    assert HUB.counters == {}
+
+
+# -- enable / disable lifecycle ----------------------------------------------
+
+
+def test_enable_twice_raises():
+    HUB.enable()
+    with pytest.raises(RuntimeError):
+        HUB.enable()
+    HUB.disable()
+
+
+def test_disable_when_disabled_is_noop():
+    assert HUB.disable() is None
+
+
+def test_enable_resets_previous_run():
+    with HUB.enabled():
+        HUB.count("x", 5)
+    assert HUB.counters["x"] == 5  # aggregates survive disable for reading
+    with HUB.enabled():
+        assert "x" not in HUB.counters
+        HUB.count("y")
+    assert "y" in HUB.counters
+
+
+def test_counters_gauges_and_ring():
+    with HUB.enabled(ring_size=4):
+        HUB.count("moves")
+        HUB.count("moves", 2)
+        HUB.gauge("clock", 3.5)
+        for i in range(10):
+            HUB.event("tick", {"i": i})
+        assert HUB.counters["moves"] == 3
+        assert HUB.gauges["clock"] == 3.5
+        assert len(HUB.ring) == 4  # bounded
+        assert HUB.ring[-1]["i"] == 9
+
+
+# -- spans --------------------------------------------------------------------
+
+
+def test_span_nesting_aggregates():
+    with HUB.enabled():
+        with HUB.span("outer"):
+            for _ in range(3):
+                with HUB.span("inner"):
+                    time.sleep(0.001)
+    snap = HUB.snapshot()
+    assert snap["spans"]["outer"]["count"] == 1
+    assert snap["spans"]["inner"]["count"] == 3
+    assert snap["spans"]["inner"]["total"] >= 0.003
+    # children are contained in the parent
+    assert snap["spans"]["outer"]["total"] >= snap["spans"]["inner"]["total"]
+    assert snap["spans"]["inner"]["max"] <= snap["spans"]["inner"]["total"]
+
+
+def test_only_toplevel_spans_emit_events():
+    with HUB.enabled():
+        with HUB.span("outer"):
+            with HUB.span("inner"):
+                pass
+    span_events = [r for r in HUB.ring if r["type"] == "span"]
+    assert [e["name"] for e in span_events] == ["outer"]
+    # ... but both appear in the aggregates.
+    assert set(HUB.span_stats) == {"outer", "inner"}
+
+
+# -- JSONL sink & obs-events/v1 schema ----------------------------------------
+
+
+def _run_instrumented(tmp_path, small_uniform):
+    from repro.registry import build_protocol
+    from repro.sim.engine import run
+
+    path = tmp_path / "events.jsonl"
+    with HUB.enabled(path, label="test-run"):
+        run(small_uniform, build_protocol("qos-sampling"), seed=0, initial="pile")
+    return path
+
+
+def test_jsonl_sink_wellformed(tmp_path, small_uniform):
+    path = _run_instrumented(tmp_path, small_uniform)
+    lines = [json.loads(l) for l in path.read_text().splitlines()]
+    assert all("type" in r and "t" in r for r in lines)
+    header = lines[0]
+    assert header["type"] == "meta"
+    assert header["schema"] == OBS_EVENTS_SCHEMA
+    assert header["meta"]["label"] == "test-run"
+    # final summary lines, in order
+    assert lines[-2]["type"] == "counters"
+    assert lines[-1]["type"] == "spans"
+    assert "engine.run" in lines[-1]["spans"]
+    assert lines[-2]["counters"]["engine.runs"] == 1
+
+
+def test_frozen_obs_events_schema(tmp_path, small_uniform):
+    """Pin the obs-events/v1 field names — renames break consumers."""
+    assert OBS_EVENTS_SCHEMA == "obs-events/v1"
+    path = _run_instrumented(tmp_path, small_uniform)
+    lines = [json.loads(l) for l in path.read_text().splitlines()]
+    header = lines[0]
+    assert set(header) >= {"type", "t", "schema", "provenance", "meta"}
+    for f in PROVENANCE_FIELDS:
+        assert f in header["provenance"]
+    round_events = [r for r in lines if r["type"] == "round"]
+    assert round_events, "engine must emit per-round events"
+    assert set(round_events[0]) >= {
+        "type",
+        "t",
+        "round",
+        "moved",
+        "attempted",
+        "messages",
+        "unsatisfied",
+    }
+    run_events = [r for r in lines if r["type"] == "run"]
+    assert len(run_events) == 1
+    assert set(run_events[0]) >= {"status", "rounds", "moves", "messages", "protocol"}
+    spans_line = lines[-1]["spans"]
+    for name, agg in spans_line.items():
+        assert set(agg) == {"count", "total", "max"}
+
+
+def test_engine_counters_match_result(tmp_path, small_uniform):
+    from repro.registry import build_protocol
+    from repro.sim.engine import run
+
+    with HUB.enabled():
+        result = run(
+            small_uniform, build_protocol("qos-sampling"), seed=0, initial="pile"
+        )
+    assert HUB.counters["engine.runs"] == 1
+    assert HUB.counters["engine.moves"] == result.total_moves
+    assert HUB.counters["engine.messages"] == result.total_messages
+    assert HUB.counters["state.cache_hits"] >= 0
+    assert HUB.counters["state.cache_misses"] > 0
+
+
+def test_msgsim_instrumentation(small_uniform):
+    from repro.msgsim.runner import run_message_sim
+
+    with HUB.enabled():
+        result = run_message_sim(small_uniform, seed=0, max_time=500.0)
+    assert HUB.counters["msgsim.runs"] == 1
+    assert HUB.counters["msgsim.messages"] == result.total_messages
+    assert HUB.counters["msgsim.events_delivered"] > 0
+    assert HUB.gauges["msgsim.clock"] == result.time
+    assert "msgsim.run" in HUB.span_stats
+    assert "msgsim.deliver" in HUB.span_stats
+
+
+def test_replicate_instrumentation():
+    from repro.sim.parallel import RunSpec, replicate
+
+    spec = RunSpec(
+        generator="uniform_slack",
+        generator_kwargs={"n": 32, "m": 4, "slack": 0.3},
+        initial="pile",
+        max_rounds=500,
+    )
+    with HUB.enabled():
+        replicate(spec, 3, base_seed=0, workers=0)
+    assert HUB.counters["parallel.replications"] == 3
+    assert HUB.counters["engine.runs"] == 3  # serial path nests engine spans
+    assert HUB.span_stats["parallel.replicate"][0] == 1
+
+
+# -- provenance ----------------------------------------------------------------
+
+
+def test_provenance_stamp_fields():
+    stamp = provenance_stamp(spec_seed_key="abc")
+    for f in PROVENANCE_FIELDS:
+        assert f in stamp
+    assert stamp["spec_seed_key"] == "abc"
+    assert isinstance(stamp["created_unix"], float)
+    assert stamp["git_sha"] == git_sha()
+
+
+def test_provenance_extra_collision_raises():
+    with pytest.raises(ValueError):
+        provenance_stamp(git_sha="spoofed")
+
+
+def test_trace_carries_provenance(small_uniform):
+    from repro.registry import build_protocol
+    from repro.sim.engine import run
+    from repro.sim.trace import Trace
+
+    result = run(small_uniform, build_protocol("qos-sampling"), seed=0, initial="pile")
+    trace = Trace.from_runs({"generator": "fixture"}, [result])
+    prov = trace.meta["provenance"]
+    for f in PROVENANCE_FIELDS:
+        assert f in prov
+    assert "spec_seed_key" in prov
+
+
+# -- bench payload & frozen bench-engine/v1 schema -----------------------------
+
+
+@pytest.fixture(scope="module")
+def bench_payload(tmp_path_factory):
+    from repro.bench import run_bench
+
+    out = tmp_path_factory.mktemp("bench") / "BENCH_engine.json"
+    return run_bench(scale="smoke", out=str(out), repeats=1), out
+
+
+def test_frozen_bench_engine_schema(bench_payload):
+    payload, _ = bench_payload
+    assert payload["schema"] == "bench-engine/v1"
+    assert set(payload) >= {
+        "schema",
+        "created_unix",
+        "scale",
+        "seed",
+        "python",
+        "numpy",
+        "platform",
+        "provenance",
+        "cells",
+    }
+    for f in PROVENANCE_FIELDS:
+        assert f in payload["provenance"]
+    kinds = {c["kind"] for c in payload["cells"]}
+    assert kinds == {"engine", "replicate", "query", "obs"}
+    engine = next(c for c in payload["cells"] if c["kind"] == "engine")
+    assert set(engine) >= {"name", "seconds", "rounds", "rounds_per_sec", "status"}
+    obs = next(c for c in payload["cells"] if c["kind"] == "obs")
+    assert set(obs) >= {
+        "name",
+        "enabled_rounds_per_sec",
+        "disabled_rounds_per_sec",
+        "overhead_pct",
+        "per_round_cost_enabled_us",
+        "per_round_cost_disabled_us",
+        "cache_hits",
+        "cache_misses",
+    }
+
+
+def test_obs_cell_within_budget(bench_payload):
+    """The acceptance budget: enabled telemetry costs <= 5% of a round."""
+    payload, _ = bench_payload
+    obs = next(c for c in payload["cells"] if c["kind"] == "obs")
+    assert obs["overhead_pct"] <= 5.0
+    assert obs["per_round_cost_enabled_us"] < 25.0  # absolute sanity bound
+    assert obs["cache_misses"] > 0  # the instrumented run exercised the cache
+
+
+# -- trend renderer ------------------------------------------------------------
+
+
+def _synthetic_bench(path, created, rps):
+    payload = {
+        "schema": "bench-engine/v1",
+        "created_unix": created,
+        "scale": "smoke",
+        "seed": 0,
+        "python": "3",
+        "numpy": "2",
+        "platform": "test",
+        "provenance": {},
+        "cells": [
+            {
+                "kind": "engine",
+                "name": "unit/sampling/sync",
+                "seconds": 0.1,
+                "rounds": 10,
+                "rounds_per_sec": rps,
+                "status": "satisfying",
+            },
+            {"kind": "query", "name": "query/satisfied_mask", "cache_speedup": 20.0},
+        ],
+    }
+    path.write_text(json.dumps(payload))
+    return path
+
+
+def test_trend_over_synthetic_series(tmp_path):
+    a = _synthetic_bench(tmp_path / "a.json", 100.0, 1000.0)
+    b = _synthetic_bench(tmp_path / "b.json", 200.0, 1500.0)
+    payloads = load_bench_artifacts([b, a])  # passed out of order
+    assert [p["created_unix"] for p in payloads] == [100.0, 200.0]
+    rows = trend_rows(payloads)
+    engine_row = next(r for r in rows if r["name"] == "unit/sampling/sync")
+    assert engine_row["series"] == [1000.0, 1500.0]
+    text = render_trend([a, b])
+    assert "unit/sampling/sync" in text
+    assert "+50.0%" in text
+    assert "2 artifact(s)" in text
+
+
+def test_trend_rejects_wrong_schema(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"schema": "something-else", "cells": []}))
+    with pytest.raises(ValueError):
+        load_bench_artifacts([bad])
+
+
+def test_trend_handles_missing_cells(tmp_path):
+    a = _synthetic_bench(tmp_path / "a.json", 100.0, 1000.0)
+    payload = json.loads(a.read_text())
+    payload["cells"] = payload["cells"][:1]  # drop the query cell
+    payload["created_unix"] = 50.0
+    older = tmp_path / "older.json"
+    older.write_text(json.dumps(payload))
+    rows = trend_rows(load_bench_artifacts([a, older]))
+    query_row = next(r for r in rows if r["kind"] == "query")
+    import math
+
+    assert math.isnan(query_row["series"][0])
+    assert query_row["series"][1] == 20.0
+
+
+# -- trace report --------------------------------------------------------------
+
+
+def test_trace_report_on_real_run(tmp_path, small_uniform):
+    path = _run_instrumented(tmp_path, small_uniform)
+    summary = summarize_events(path)
+    assert summary["complete"]
+    assert summary["counters"]["engine.runs"] == 1
+    assert "engine.run" in summary["spans"]
+    text = render_report(summary)
+    assert "trace report" in text
+    assert "engine.round" in text
+    assert "counter totals" in text
+    assert "rounds observed" in text
+
+
+def test_trace_report_truncated_log_rebuilds(tmp_path, small_uniform):
+    path = _run_instrumented(tmp_path, small_uniform)
+    lines = path.read_text().splitlines()
+    truncated = tmp_path / "truncated.jsonl"
+    # cut before the final counters/spans summary lines
+    truncated.write_text("\n".join(lines[:-2]) + "\n")
+    summary = summarize_events(truncated)
+    assert not summary["complete"]
+    assert summary["spans"]  # rebuilt from raw span events
+    text = render_report(summary)
+    assert "truncated log" in text
+
+
+def test_trace_report_rejects_non_obs_file(tmp_path):
+    other = tmp_path / "other.jsonl"
+    other.write_text(json.dumps({"type": "x", "t": 0}) + "\n")
+    with pytest.raises(ValueError):
+        summarize_events(other)
