@@ -14,10 +14,13 @@ This harness times:
 - **query** cells: ``State.satisfied_mask`` calls/second with the
   generation-counter cache enabled vs. disabled — the direct measurement
   of the memoization layer;
+- **runs** cells: the sweep orchestrator's scheduling overhead and its
+  2-worker speedup over serial execution, plus the fully-cached re-run
+  cost (see :mod:`repro.runs`);
 - **obs** cells: the telemetry hub's cost on the headline engine cell,
   disabled (must be measurement noise, <2% vs. the committed baseline)
-  and enabled with the in-memory ring buffer (budget ≤5%); see
-  :mod:`repro.obs`.
+  and enabled with the in-memory ring buffer (budget ≤5%), including the
+  counter-sampled mode (``sample_rate``); see :mod:`repro.obs`.
 
 Results go to ``BENCH_engine.json`` (repo root by convention; CI uploads
 it as an artifact) plus a human-readable ASCII table on stdout.  Timings
@@ -34,6 +37,7 @@ Usage::
 from __future__ import annotations
 
 import json
+import os
 import platform
 import sys
 import time
@@ -264,7 +268,7 @@ def _time_obs_cell(
             with round_span:
                 with step_span:
                     pass
-            if HUB.active:
+            if HUB.active and HUB.tick("round"):  # mirrors the engine's guard
                 HUB.event(
                     "round",
                     {"round": i, "moved": 0, "attempted": 0, "messages": 0, "unsatisfied": 0},
@@ -274,8 +278,12 @@ def _time_obs_cell(
     cost_off = per_round_cost()  # null spans + guard: the disabled tax
     with HUB.enabled(label="bench-obs-micro"):
         cost_on = per_round_cost()
+    sample_rate = 16
+    with HUB.enabled(label="bench-obs-micro-sampled", sample_rate=sample_rate):
+        cost_sampled = per_round_cost()
     round_seconds = best_off / rounds
     overhead_pct = 100.0 * max(0.0, cost_on - cost_off) / round_seconds
+    overhead_pct_sampled = 100.0 * max(0.0, cost_sampled - cost_off) / round_seconds
 
     return {
         "kind": "obs",
@@ -292,9 +300,86 @@ def _time_obs_cell(
         "disabled_rounds_per_sec": rounds / best_off,
         "per_round_cost_enabled_us": cost_on * 1e6,
         "per_round_cost_disabled_us": cost_off * 1e6,
+        "per_round_cost_sampled_us": cost_sampled * 1e6,
+        "sample_rate": sample_rate,
         "overhead_pct": overhead_pct,
+        "overhead_pct_sampled": overhead_pct_sampled,
         "cache_hits": int(counters.get("state.cache_hits", 0)),
         "cache_misses": int(counters.get("state.cache_misses", 0)),
+    }
+
+
+def _time_runs_cell(*, n: int, m: int, max_rounds: int, reps: int) -> dict[str, Any]:
+    """Sweep-orchestrator overhead: serial vs 2-worker vs fully cached.
+
+    Four independent cells run through :func:`repro.runs.run_cells` three
+    times into throwaway stores: ``workers=1`` (serial baseline),
+    ``workers=2`` (the documented speedup claim — embarrassingly parallel
+    cells should approach 2x minus pool spin-up), and a cached re-run on
+    the 2-worker store (pure store-lookup cost, ~free).
+    """
+    import shutil
+    import tempfile
+
+    from .runs import run_cells
+    from .runs.store import CellSpec, ResultStore
+    from .sim.parallel import RunSpec
+
+    # The slack-proportional rate converges slowly, so every rep burns the
+    # whole round budget — deterministic work heavy enough that two workers
+    # amortize the pool spin-up (the speedup claim needs real work to split).
+    cell_n, cell_m = max(512, n // 2), max(16, m // 2)
+    n_reps = max(8, 2 * reps)
+    cells = [
+        CellSpec(
+            spec=RunSpec(
+                generator="uniform_slack",
+                generator_kwargs={"n": cell_n, "m": cell_m, "slack": 0.25},
+                protocol="qos-sampling",
+                protocol_kwargs={"rate": {"name": "slack-proportional"}},
+                initial="pile",
+                max_rounds=max_rounds,
+                label=f"bench-runs-{i}",
+            ),
+            n_reps=n_reps,
+            base_seed=i,
+        )
+        for i in range(4)
+    ]
+
+    tmp = Path(tempfile.mkdtemp(prefix="bench-runs-"))
+    try:
+        started = time.perf_counter()
+        run_cells(cells, store=ResultStore(tmp / "serial"), workers=1, timeout=None)
+        seconds = time.perf_counter() - started
+
+        store_2w = ResultStore(tmp / "parallel")
+        started = time.perf_counter()
+        run_cells(cells, store=store_2w, workers=2, timeout=None)
+        seconds_2w = time.perf_counter() - started
+
+        started = time.perf_counter()
+        cached_summary = run_cells(cells, store=store_2w, workers=2, timeout=None)
+        cached_seconds = time.perf_counter() - started
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+    return {
+        "kind": "runs",
+        "name": "runs/overhead",
+        "generator": "uniform_slack",
+        "protocol": "qos-sampling",
+        "schedule": "synchronous",
+        "n_users": cell_n,
+        "n_resources": cell_m,
+        "cells": len(cells),
+        "reps": n_reps,
+        "cpus": len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") else os.cpu_count(),
+        "seconds": seconds,
+        "seconds_2w": seconds_2w,
+        "speedup_2w": seconds / seconds_2w if seconds_2w else float("inf"),
+        "cached_seconds": cached_seconds,
+        "cached_cells": cached_summary["cached"],
     }
 
 
@@ -358,6 +443,9 @@ def run_bench(
     )
     cells.append(_time_query_cell(n=n, m=m))
     cells.append(
+        _time_runs_cell(n=n, m=m, max_rounds=params["max_rounds"], reps=params["reps"])
+    )
+    cells.append(
         _time_obs_cell(
             next(c for c in ENGINE_CELLS if c["name"] == "unit/sampling-slackrate/sync"),
             n=n,
@@ -402,7 +490,14 @@ def render_bench(payload: dict[str, Any]) -> str:
             metric = f"{c['overhead_pct']:+.2f}% overhead"
             detail = (
                 f"{c['enabled_rounds_per_sec']:,.0f} on / "
-                f"{c['disabled_rounds_per_sec']:,.0f} off rounds/s"
+                f"{c['disabled_rounds_per_sec']:,.0f} off rounds/s; "
+                f"{c['overhead_pct_sampled']:+.2f}% @1/{c['sample_rate']}"
+            )
+        elif c["kind"] == "runs":
+            metric = f"x{c['speedup_2w']:.2f} @2 workers"
+            detail = (
+                f"{c['cells']} cells: {c['seconds']:.2f}s serial, "
+                f"{c['seconds_2w']:.2f}s 2w, {c['cached_seconds']:.3f}s cached"
             )
         else:
             metric = f"{c['cached_calls_per_sec']:,.0f} calls/s"

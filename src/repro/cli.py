@@ -27,7 +27,9 @@ __all__ = ["main"]
 
 
 def _parse_value(text: str):
-    """Parse ``key=value`` values: int, float, bool, else string."""
+    """Parse ``key=value`` values: int, float, bool, comma-tuple, else string."""
+    if "," in text:
+        return tuple(_parse_value(part) for part in text.split(",") if part)
     for caster in (int, float):
         try:
             return caster(text)
@@ -73,6 +75,17 @@ def _save_result(result, out_dir: Path, scale: str) -> None:
     print(f"[saved {stem}.txt / .json]")
 
 
+def _store_context(store_arg: str | None):
+    """Activate the content-addressed cell store for ``run``/``all``."""
+    from contextlib import nullcontext
+
+    if not store_arg:
+        return nullcontext()
+    from .runs.store import use_store
+
+    return use_store(store_arg)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     from .experiments import run_experiment
 
@@ -80,7 +93,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.workers is not None:
         overrides.setdefault("workers", args.workers)
     started = time.time()
-    result = run_experiment(args.experiment, args.scale, **overrides)
+    with _store_context(args.store):
+        result = run_experiment(args.experiment, args.scale, **overrides)
     print(result.render())
     print(f"[{time.time() - started:.1f}s]")
     if args.out:
@@ -92,28 +106,141 @@ def _cmd_all(args: argparse.Namespace) -> int:
     from .experiments import EXPERIMENTS
 
     failures = []
-    for eid in sorted(EXPERIMENTS):
-        print(f"\n=== {eid} ===")
-        try:
-            started = time.time()
-            overrides = {}
-            if args.workers is not None:
-                overrides["workers"] = args.workers
+    with _store_context(args.store):
+        for eid in sorted(EXPERIMENTS):
+            print(f"\n=== {eid} ===")
             try:
-                result = EXPERIMENTS[eid].run(args.scale, **overrides)
-            except TypeError:
-                # Experiments without a workers knob (F8, T3) run serially.
-                result = EXPERIMENTS[eid].run(args.scale)
-            print(result.render())
-            print(f"[{time.time() - started:.1f}s]")
-            if args.out:
-                _save_result(result, Path(args.out), args.scale)
-        except Exception as exc:  # pragma: no cover - operator feedback
-            failures.append((eid, exc))
-            print(f"FAILED: {exc!r}")
+                started = time.time()
+                overrides = {}
+                if args.workers is not None:
+                    overrides["workers"] = args.workers
+                try:
+                    result = EXPERIMENTS[eid].run(args.scale, **overrides)
+                except TypeError:
+                    # Experiments without a workers knob (F8, T3) run serially.
+                    result = EXPERIMENTS[eid].run(args.scale)
+                print(result.render())
+                print(f"[{time.time() - started:.1f}s]")
+                if args.out:
+                    _save_result(result, Path(args.out), args.scale)
+            except Exception as exc:  # pragma: no cover - operator feedback
+                failures.append((eid, exc))
+                print(f"FAILED: {exc!r}")
     if failures:
         print(f"\n{len(failures)} experiment(s) failed: {[e for e, _ in failures]}")
         return 1
+    return 0
+
+
+def _sweep_overrides(pairs: list[str]) -> tuple[dict, dict]:
+    """Split ``[EID.]KEY=VALUE`` pairs into (global, per-experiment) overrides."""
+    shared: dict = {}
+    per_exp: dict[str, dict] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"expected [EID.]KEY=VALUE, got {pair!r}")
+        key, value = pair.split("=", 1)
+        if "." in key:
+            eid, key = key.split(".", 1)
+            per_exp.setdefault(eid.upper(), {})[key] = _parse_value(value)
+        else:
+            shared[key] = _parse_value(value)
+    return shared, per_exp
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .obs import HUB
+    from .runs import (
+        DEFAULT_RETRIES,
+        DEFAULT_TIMEOUT,
+        resume_sweep,
+        run_sweep,
+        sweepable_experiments,
+    )
+
+    timeout = DEFAULT_TIMEOUT if args.timeout is None else args.timeout
+    retries = DEFAULT_RETRIES if args.retries is None else args.retries
+    if args.obs_out:
+        HUB.enable(args.obs_out, command="sweep")
+    try:
+        if args.resume:
+            if args.experiments or args.set:
+                raise SystemExit(
+                    "--resume reuses the journalled configuration; "
+                    "drop the experiment ids / --set overrides"
+                )
+            summary = resume_sweep(
+                args.resume,
+                workers=args.workers,  # None = reuse the journalled count
+                timeout=timeout,
+                retries=retries,
+                max_cells=args.max_cells,
+            )
+        else:
+            shared, per_exp = _sweep_overrides(args.set or [])
+            ids = [e.upper() for e in args.experiments] or sweepable_experiments()
+            overrides = {eid: {**shared, **per_exp.get(eid, {})} for eid in ids}
+            unknown = set(per_exp) - set(ids)
+            if unknown:
+                raise SystemExit(f"--set targets experiments not in this sweep: {sorted(unknown)}")
+            summary = run_sweep(
+                ids,
+                out=args.out,
+                scale=args.scale,
+                workers=0 if args.workers is None else args.workers,
+                force=args.force,
+                timeout=timeout,
+                retries=retries,
+                max_cells=args.max_cells,
+                overrides=overrides,
+            )
+    finally:
+        if args.obs_out:
+            HUB.disable()
+    print(
+        f"sweep {summary['out']}: {summary['cells']} cell(s) — "
+        f"{summary['cached']} cached, {summary['run']} run, "
+        f"{summary['failed']} failed, {summary['deferred']} deferred "
+        f"[{summary['wall_s']:.1f}s]"
+    )
+    for failure in summary["failures"]:
+        print(
+            f"  FAILED {failure['experiment_id']}/{failure['label']} "
+            f"after {failure['attempts']} attempt(s): {failure['error']}",
+            file=sys.stderr,
+        )
+    if args.obs_out:
+        print(f"[obs events -> {args.obs_out}]", file=sys.stderr)
+    return 1 if summary["failed"] else 0
+
+
+def _runs_store_dir(path: str) -> Path:
+    """Accept either a sweep directory (containing ``store/``) or a bare store."""
+    d = Path(path)
+    return d / "store" if (d / "store").is_dir() else d
+
+
+def _cmd_runs_status(args: argparse.Namespace) -> int:
+    from .runs import render_status, sweep_status
+
+    status = sweep_status(args.dir)
+    print(render_status(status))
+    return 1 if status["totals"]["failed"] else 0
+
+
+def _cmd_runs_gc(args: argparse.Namespace) -> int:
+    from .runs import ResultStore
+
+    report = ResultStore(_runs_store_dir(args.dir)).gc(
+        all_versions=args.all_versions, dry_run=args.dry_run
+    )
+    verb = "would remove" if report["dry_run"] else "removed"
+    print(
+        f"gc {args.dir}: kept {report['kept']}, {verb} {report['removed']} "
+        f"payload(s) ({report['freed_bytes']} bytes)"
+    )
+    for key in report["removed_keys"]:
+        print(f"  - {key}")
     return 0
 
 
@@ -155,7 +282,15 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 def _cmd_trend(args: argparse.Namespace) -> int:
     from .obs import render_trend
 
-    paths = [Path(p) for p in args.paths] or sorted(Path(".").glob("BENCH_engine*.json"))
+    paths: list[Path] = []
+    for arg in args.paths:
+        path = Path(arg)
+        if path.is_dir():  # a bench history directory of dated artifacts
+            paths.extend(sorted(path.glob("*.json")))
+        else:
+            paths.append(path)
+    if not args.paths:
+        paths = sorted(Path(".").glob("BENCH_engine*.json"))
     if not paths:
         print("no bench artifacts found (expected BENCH_engine*.json)", file=sys.stderr)
         return 2
@@ -231,11 +366,17 @@ def _cmd_churn(args: argparse.Namespace) -> int:
 def _cmd_bench(args: argparse.Namespace) -> int:
     from .bench import render_bench, run_bench
 
-    payload = run_bench(
-        scale=args.scale, out=args.out, repeats=args.repeats, seed=args.seed
-    )
+    out = args.out
+    if args.history:
+        # Dated artifact into a history directory — `trend <dir>` reads them
+        # back in chronological (= lexicographic) order.
+        history = Path(args.history)
+        history.mkdir(parents=True, exist_ok=True)
+        stamp = time.strftime("%Y%m%dT%H%M%SZ", time.gmtime())
+        out = str(history / f"BENCH_engine-{stamp}.json")
+    payload = run_bench(scale=args.scale, out=out, repeats=args.repeats, seed=args.seed)
     print(render_bench(payload))
-    print(f"[wrote {args.out}]")
+    print(f"[wrote {out}]")
     return 0
 
 
@@ -285,13 +426,81 @@ def main(argv: list[str] | None = None) -> int:
         metavar="KEY=VALUE",
         help="override an experiment parameter (repeatable)",
     )
+    p_run.add_argument(
+        "--store",
+        metavar="DIR",
+        help="content-addressed cell store: reuse cached cells, save new ones",
+    )
     p_run.set_defaults(fn=_cmd_run)
 
     p_all = sub.add_parser("all", help="run the whole suite")
     p_all.add_argument("--scale", choices=("ci", "full"), default="ci")
     p_all.add_argument("--out", help="directory for .txt/.json outputs")
     p_all.add_argument("--workers", type=int, default=None)
+    p_all.add_argument("--store", metavar="DIR", help="content-addressed cell store")
     p_all.set_defaults(fn=_cmd_all)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="resumable cached sweep over experiment cells"
+    )
+    p_sweep.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment ids (default: every experiment with a cell decomposition)",
+    )
+    p_sweep.add_argument("--scale", choices=("ci", "full"), default="ci")
+    p_sweep.add_argument("--out", default="sweep", help="sweep directory (default: sweep/)")
+    p_sweep.add_argument(
+        "--resume",
+        metavar="DIR",
+        help="continue an interrupted sweep from its journalled configuration",
+    )
+    p_sweep.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="process pool size (0/1 = serial; --resume defaults to the journalled count)",
+    )
+    p_sweep.add_argument(
+        "--force", action="store_true", help="recompute cells even when cached"
+    )
+    p_sweep.add_argument(
+        "--timeout", type=float, default=None, help="per-cell wall-clock budget (seconds)"
+    )
+    p_sweep.add_argument(
+        "--retries", type=int, default=None, help="extra attempts per failing cell"
+    )
+    p_sweep.add_argument(
+        "--max-cells", type=int, default=None, help="cap on cells executed this invocation"
+    )
+    p_sweep.add_argument(
+        "--set",
+        action="append",
+        metavar="[EID.]KEY=VALUE",
+        help="override an experiment parameter; prefix with the experiment id "
+        "to scope it (repeatable; commas parse as tuples)",
+    )
+    p_sweep.add_argument(
+        "--obs-out", metavar="PATH", help="record sweep telemetry to this JSONL file"
+    )
+    p_sweep.set_defaults(fn=_cmd_sweep)
+
+    p_runs = sub.add_parser("runs", help="inspect and maintain sweep directories")
+    runs_sub = p_runs.add_subparsers(dest="runs_command", required=True)
+    p_status = runs_sub.add_parser("status", help="per-experiment sweep progress")
+    p_status.add_argument("dir", help="sweep directory (journal.jsonl + store/)")
+    p_status.set_defaults(fn=_cmd_runs_status)
+    p_gc = runs_sub.add_parser(
+        "gc", help="drop stale store payloads (other versions, corrupt files)"
+    )
+    p_gc.add_argument("dir", help="sweep directory or bare store directory")
+    p_gc.add_argument(
+        "--all-versions",
+        action="store_true",
+        help="remove every payload, current version included (full cache wipe)",
+    )
+    p_gc.add_argument("--dry-run", action="store_true")
+    p_gc.set_defaults(fn=_cmd_runs_gc)
 
     p_sim = sub.add_parser("simulate", help="one ad-hoc simulation run")
     p_sim.add_argument("--generator", required=True)
@@ -335,6 +544,11 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_bench.add_argument("--scale", choices=("smoke", "full"), default="smoke")
     p_bench.add_argument("--out", default="BENCH_engine.json")
+    p_bench.add_argument(
+        "--history",
+        metavar="DIR",
+        help="write a dated artifact into this directory instead of --out",
+    )
     p_bench.add_argument("--repeats", type=int, default=None)
     p_bench.add_argument("--seed", type=int, default=0)
     p_bench.set_defaults(fn=_cmd_bench)

@@ -10,16 +10,38 @@ claim being reproduced) plus two parameter presets:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable
 
-from .common import ExperimentResult, cell, convergence_stats
-from .extensions import f10_multi_probe, f11_fluid_limit, f12_churn
-from .heterogeneity import f4_hetero_users, f5_hetero_resources, t2_infeasible
-from .protocols_table import f6_rate_ablation, t1_protocols
-from .robustness import f7_asynchrony, f8_failures, f9_topology, f13_msg_loss
-from .scaling import f1_scaling_n, f2_slack, f3_scaling_m
-from .validation import t3_msgsim, t4_drift_and_oblivious, t5_tail
+from ..obs import HUB as _OBS
+from .common import (
+    ExperimentResult,
+    cell,
+    cell_spec,
+    collecting_cells,
+    convergence_stats,
+    enumerate_cells,
+)
+from .extensions import f10_cells, f10_multi_probe, f11_fluid_limit, f12_churn
+from .heterogeneity import (
+    f4_cells,
+    f4_hetero_users,
+    f5_cells,
+    f5_hetero_resources,
+    t2_cells,
+    t2_infeasible,
+)
+from .protocols_table import f6_cells, f6_rate_ablation, t1_cells, t1_protocols
+from .robustness import (
+    f7_asynchrony,
+    f7_cells,
+    f8_failures,
+    f9_cells,
+    f9_topology,
+    f13_msg_loss,
+)
+from .scaling import f1_cells, f1_scaling_n, f2_cells, f2_slack, f3_cells, f3_scaling_m
+from .validation import t3_msgsim, t4_cells, t4_drift_and_oblivious, t5_cells, t5_tail
 
 __all__ = [
     "ExperimentResult",
@@ -27,6 +49,9 @@ __all__ = [
     "EXPERIMENTS",
     "run_experiment",
     "cell",
+    "cell_spec",
+    "collecting_cells",
+    "enumerate_cells",
     "convergence_stats",
     "f1_scaling_n",
     "f2_slack",
@@ -51,20 +76,47 @@ __all__ = [
 
 @dataclass(frozen=True)
 class ExperimentDef:
-    """An experiment plus its CI and full-scale parameter presets."""
+    """An experiment plus its CI and full-scale parameter presets.
+
+    ``cells`` — when set — is the experiment's *cell decomposition*: a
+    function with the runner's signature returning the
+    :class:`~repro.runs.store.CellSpec` list the runner would execute,
+    without simulating anything.  The sweep orchestrator
+    (:mod:`repro.runs`) schedules those cells; experiments whose runners
+    drive simulations directly (F8, F11, F12, F13, T3) leave it ``None``
+    and are not sweepable.
+    """
 
     experiment_id: str
     fn: Callable[..., ExperimentResult]
     description: str
     ci: dict[str, Any] = field(default_factory=dict)
     full: dict[str, Any] = field(default_factory=dict)
+    cells: Callable[..., list] | None = None
 
-    def run(self, scale: str = "ci", **overrides: Any) -> ExperimentResult:
+    def _preset(self, scale: str, overrides: dict[str, Any]) -> dict[str, Any]:
         if scale not in ("ci", "full"):
             raise ValueError("scale must be 'ci' or 'full'")
         kwargs = dict(self.ci if scale == "ci" else self.full)
         kwargs.update(overrides)
-        return self.fn(**kwargs)
+        return kwargs
+
+    def run(self, scale: str = "ci", **overrides: Any) -> ExperimentResult:
+        kwargs = self._preset(scale, overrides)
+        with _OBS.span("experiments.run"):
+            return self.fn(**kwargs)
+
+    def list_cells(self, scale: str = "ci", **overrides: Any) -> list:
+        """The cells this experiment would run at ``scale`` (nothing executes)."""
+        if self.cells is None:
+            raise ValueError(
+                f"{self.experiment_id} has no cell decomposition "
+                "(its runner drives simulations directly)"
+            )
+        kwargs = self._preset(scale, overrides)
+        return [
+            replace(c, experiment_id=self.experiment_id) for c in self.cells(**kwargs)
+        ]
 
 
 EXPERIMENTS: dict[str, ExperimentDef] = {
@@ -74,6 +126,7 @@ EXPERIMENTS: dict[str, ExperimentDef] = {
         "convergence rounds vs n (log growth)",
         ci={"ns": (250, 500, 1000, 2000, 4000), "n_reps": 7},
         full={"ns": (250, 500, 1000, 2000, 4000, 8000, 16000, 32000), "n_reps": 25},
+        cells=f1_cells,
     ),
     "F2": ExperimentDef(
         "F2",
@@ -81,6 +134,7 @@ EXPERIMENTS: dict[str, ExperimentDef] = {
         "convergence rounds vs slack (tight is hard)",
         ci={"n": 1024, "m": 32, "n_reps": 7},
         full={"n": 8192, "m": 256, "n_reps": 25},
+        cells=f2_cells,
     ),
     "F3": ExperimentDef(
         "F3",
@@ -88,6 +142,7 @@ EXPERIMENTS: dict[str, ExperimentDef] = {
         "convergence rounds vs m at fixed load factor",
         ci={"ms": (8, 16, 32, 64), "n_reps": 7},
         full={"ms": (8, 16, 32, 64, 128, 256, 512), "n_reps": 25},
+        cells=f3_cells,
     ),
     "F4": ExperimentDef(
         "F4",
@@ -95,6 +150,7 @@ EXPERIMENTS: dict[str, ExperimentDef] = {
         "heterogeneous threshold profiles",
         ci={"n": 1024, "m": 32, "n_reps": 5, "max_rounds": 20_000},
         full={"n": 8192, "m": 256, "n_reps": 20},
+        cells=f4_cells,
     ),
     "F5": ExperimentDef(
         "F5",
@@ -102,6 +158,7 @@ EXPERIMENTS: dict[str, ExperimentDef] = {
         "heterogeneous resources (speeds, convex, M/M/1)",
         ci={"n": 1024, "m": 32, "n_reps": 5, "max_rounds": 20_000},
         full={"n": 8192, "m": 256, "n_reps": 20},
+        cells=f5_cells,
     ),
     "F6": ExperimentDef(
         "F6",
@@ -109,6 +166,7 @@ EXPERIMENTS: dict[str, ExperimentDef] = {
         "migration-rate rule ablation (U-shape)",
         ci={"ps": (0.125, 0.5, 1.0), "n": 1024, "m": 32, "n_reps": 7},
         full={"n": 8192, "m": 256, "n_reps": 25},
+        cells=f6_cells,
     ),
     "F7": ExperimentDef(
         "F7",
@@ -116,6 +174,7 @@ EXPERIMENTS: dict[str, ExperimentDef] = {
         "activation schedules (1/alpha slowdown)",
         ci={"alphas": (1.0, 0.25), "partitions": (4,), "n": 1024, "m": 32, "n_reps": 7},
         full={"n": 8192, "m": 256, "n_reps": 25},
+        cells=f7_cells,
     ),
     "F8": ExperimentDef(
         "F8",
@@ -136,6 +195,7 @@ EXPERIMENTS: dict[str, ExperimentDef] = {
             "max_rounds": 50_000,
         },
         full={"n": 4096, "m": 64, "n_reps": 20},
+        cells=f9_cells,
     ),
     "F10": ExperimentDef(
         "F10",
@@ -143,6 +203,7 @@ EXPERIMENTS: dict[str, ExperimentDef] = {
         "power of d choices: probes vs rounds vs messages (extension)",
         ci={"ds": (1, 2, 4), "n": 1024, "m": 32, "n_reps": 7},
         full={"n": 8192, "m": 256, "n_reps": 25},
+        cells=f10_cells,
     ),
     "F11": ExperimentDef(
         "F11",
@@ -171,6 +232,7 @@ EXPERIMENTS: dict[str, ExperimentDef] = {
         "protocol comparison table",
         ci={"n": 1024, "m": 32, "n_reps": 5, "max_rounds": 5_000},
         full={"n": 8192, "m": 256, "n_reps": 20},
+        cells=t1_cells,
     ),
     "T2": ExperimentDef(
         "T2",
@@ -178,6 +240,7 @@ EXPERIMENTS: dict[str, ExperimentDef] = {
         "infeasible instances vs OPT_sat",
         ci={"overload_factors": (1.25, 2.0), "m": 16, "q": 8, "n_reps": 5},
         full={"m": 64, "q": 16, "n_reps": 20},
+        cells=t2_cells,
     ),
     "T3": ExperimentDef(
         "T3",
@@ -192,6 +255,7 @@ EXPERIMENTS: dict[str, ExperimentDef] = {
         "convergence-time distribution: w.h.p. bound + geometric tail",
         ci={"slacks": (0.25,), "n": 512, "m": 16, "n_reps": 250, "delta": 0.1},
         full={"n_reps": 2000, "delta": 0.05},
+        cells=t5_cells,
     ),
     "T4": ExperimentDef(
         "T4",
@@ -199,6 +263,7 @@ EXPERIMENTS: dict[str, ExperimentDef] = {
         "drift premise + QoS-aware vs oblivious balancing",
         ci={"n": 512, "m": 16, "n_drift_runs": 4, "n_reps": 5, "max_rounds": 5_000},
         full={"n": 4096, "m": 128, "n_drift_runs": 12, "n_reps": 20},
+        cells=t4_cells,
     ),
 }
 

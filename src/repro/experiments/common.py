@@ -9,19 +9,26 @@ and writes traces.
 
 from __future__ import annotations
 
+import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Sequence
+from typing import Any, Iterator, Sequence
 
 import numpy as np
 
 from ..analysis.stats import summarize
 from ..analysis.tables import render_table
+from ..obs import HUB as _OBS
+from ..runs.store import CellSpec, active_store
 from ..sim.engine import RunResult
 from ..sim.parallel import RunSpec, replicate
 
 __all__ = [
     "ExperimentResult",
     "cell",
+    "cell_spec",
+    "collecting_cells",
+    "enumerate_cells",
     "convergence_stats",
 ]
 
@@ -42,6 +49,91 @@ class ExperimentResult:
         if self.findings:
             text += "\n" + "\n".join(f"  * {f}" for f in self.findings)
         return text
+
+
+def cell_spec(
+    *,
+    generator: str,
+    generator_kwargs: dict | None = None,
+    protocol: str = "qos-sampling",
+    protocol_kwargs: dict | None = None,
+    schedule: str = "synchronous",
+    schedule_kwargs: dict | None = None,
+    max_rounds: int = 100_000,
+    initial: str = "pile",
+    n_reps: int = 10,
+    base_seed: int = 0,
+    workers: int | None = 0,
+    label: str = "",
+    seed_key: str | None = None,
+) -> CellSpec:
+    """The :class:`~repro.runs.store.CellSpec` a :func:`cell` call resolves to.
+
+    Same signature as :func:`cell` (``workers`` is accepted and ignored —
+    it is an execution knob, not part of the cell's identity), so runners
+    and their ``*_cells`` decompositions share one source of truth.
+    """
+    del workers  # execution hint; never part of the cell identity
+    spec = RunSpec(
+        generator=generator,
+        generator_kwargs=generator_kwargs or {},
+        protocol=protocol,
+        protocol_kwargs=protocol_kwargs or {},
+        schedule=schedule,
+        schedule_kwargs=schedule_kwargs or {},
+        max_rounds=max_rounds,
+        initial=initial,
+        label=label,
+    )
+    return CellSpec(spec=spec, n_reps=n_reps, base_seed=base_seed, seed_key=seed_key)
+
+
+# Dry-run collector: while set, cell() records CellSpecs instead of
+# simulating, so runners double as their own cell enumerations.
+_CELL_COLLECTOR: list[CellSpec] | None = None
+
+
+@contextmanager
+def collecting_cells() -> Iterator[list[CellSpec]]:
+    """Dry-run mode: :func:`cell` collects specs and returns placeholders.
+
+    Placeholder results are structurally valid (status ``"satisfying"``,
+    ``rounds = rep_index + 1``) so the runner's table/findings arithmetic
+    completes; the rendered numbers are meaningless and discarded — only
+    the collected :class:`CellSpec` list matters.
+    """
+    global _CELL_COLLECTOR
+    previous = _CELL_COLLECTOR
+    _CELL_COLLECTOR = collected = []
+    try:
+        yield collected
+    finally:
+        _CELL_COLLECTOR = previous
+
+
+def enumerate_cells(fn, **params: Any) -> list[CellSpec]:
+    """The cell decomposition of a cell-based runner (nothing simulates)."""
+    with collecting_cells() as cells:
+        fn(**params)
+    return list(cells)
+
+
+def _placeholder_result(spec: RunSpec, index: int) -> RunResult:
+    return RunResult(
+        status="satisfying",
+        rounds=index + 1,
+        total_moves=0,
+        total_attempts=0,
+        total_messages=0,
+        n_satisfied=1,
+        n_users=1,
+        n_resources=1,
+        satisfying_round=index + 1,
+        last_event_round=None,
+        protocol={"name": spec.protocol},
+        schedule={"name": spec.schedule},
+        seed=None,
+    )
 
 
 def cell(
@@ -72,21 +164,65 @@ def cell(
     protocol-only (see :func:`repro.sim.parallel.replicate`).  Leave it
     ``None`` for unpaired sweeps — each configuration then draws its own
     independent stream.
+
+    Two orthogonal contexts intercept the call: inside
+    :func:`collecting_cells` the cell is recorded, not run; inside
+    :func:`repro.runs.store.use_store` the content-addressed store is
+    consulted first and written back on a miss, making repeated renders
+    incremental over prior sweeps.
     """
-    spec = RunSpec(
+    cs = cell_spec(
         generator=generator,
-        generator_kwargs=generator_kwargs or {},
+        generator_kwargs=generator_kwargs,
         protocol=protocol,
-        protocol_kwargs=protocol_kwargs or {},
+        protocol_kwargs=protocol_kwargs,
         schedule=schedule,
-        schedule_kwargs=schedule_kwargs or {},
+        schedule_kwargs=schedule_kwargs,
         max_rounds=max_rounds,
         initial=initial,
+        n_reps=n_reps,
+        base_seed=base_seed,
         label=label,
+        seed_key=seed_key,
     )
-    return replicate(
-        spec, n_reps, base_seed=base_seed, workers=workers, seed_key=seed_key
-    )
+    if _CELL_COLLECTOR is not None:
+        _CELL_COLLECTOR.append(cs)
+        return [_placeholder_result(cs.spec, i) for i in range(n_reps)]
+
+    store = active_store()
+    if store is not None:
+        hit = store.load_results(cs)
+        if hit is not None:
+            if _OBS.active:
+                _OBS.count("experiments.cells_cached")
+                _OBS.event(
+                    "cell",
+                    {"label": label, "protocol": protocol, "n_reps": n_reps, "cached": True},
+                )
+            return hit
+
+    started = time.perf_counter()
+    with _OBS.span("experiments.cell"):
+        results = replicate(
+            cs.spec, n_reps, base_seed=base_seed, workers=workers, seed_key=seed_key
+        )
+    elapsed = time.perf_counter() - started
+    if store is not None:
+        store.store_results(cs, results, duration_s=elapsed)
+    if _OBS.active:
+        _OBS.count("experiments.cells")
+        _OBS.event(
+            "cell",
+            {
+                "label": label,
+                "generator": generator,
+                "protocol": protocol,
+                "n_reps": n_reps,
+                "cached": False,
+                "seconds": elapsed,
+            },
+        )
+    return results
 
 
 def convergence_stats(results: Sequence[RunResult]) -> dict[str, Any]:

@@ -12,9 +12,16 @@ from __future__ import annotations
 from typing import Sequence
 
 from ..analysis.scaling import classify_growth
-from .common import ExperimentResult, cell, convergence_stats
+from .common import ExperimentResult, cell, convergence_stats, enumerate_cells
 
-__all__ = ["f1_scaling_n", "f2_slack", "f3_scaling_m"]
+__all__ = [
+    "f1_scaling_n",
+    "f1_cells",
+    "f2_slack",
+    "f2_cells",
+    "f3_scaling_m",
+    "f3_cells",
+]
 
 
 def f1_scaling_n(
@@ -198,3 +205,18 @@ def f3_scaling_m(
         findings=findings,
         extra={"medians": medians, "ms": list(ms)},
     )
+
+
+def f1_cells(**params):
+    """Cell decomposition of :func:`f1_scaling_n` (nothing simulates)."""
+    return enumerate_cells(f1_scaling_n, **params)
+
+
+def f2_cells(**params):
+    """Cell decomposition of :func:`f2_slack` (nothing simulates)."""
+    return enumerate_cells(f2_slack, **params)
+
+
+def f3_cells(**params):
+    """Cell decomposition of :func:`f3_scaling_m` (nothing simulates)."""
+    return enumerate_cells(f3_scaling_m, **params)

@@ -14,9 +14,9 @@ from ..core.potential import overload_potential, unsatisfied_count
 from ..msgsim.runner import run_message_sim
 from ..registry import build_instance, build_protocol
 from ..sim.engine import run
-from .common import ExperimentResult, cell, convergence_stats
+from .common import ExperimentResult, cell, cell_spec, convergence_stats, enumerate_cells
 
-__all__ = ["t3_msgsim", "t4_drift_and_oblivious", "t5_tail"]
+__all__ = ["t3_msgsim", "t4_drift_and_oblivious", "t4_cells", "t5_tail", "t5_cells"]
 
 
 def t3_msgsim(
@@ -123,6 +123,61 @@ def t3_msgsim(
     )
 
 
+def _t4_overload_arms(
+    *, n: int, m: int, n_reps: int, max_rounds: int
+) -> tuple[int, int, list[tuple[str, str, dict]]]:
+    """T4 part (b) as data: ``(q, n_over, [(label, protocol, cell kwargs)])``.
+
+    Shared by the runner and :func:`t4_cells` so the sweep orchestrator
+    enumerates exactly the cells the runner executes (part (a)'s drift
+    estimation is not cell-shaped and stays runner-only).
+    """
+    q = max(2, n // (2 * m))
+    n_over = int(1.5 * m * q)
+    gen_kwargs = {"n": n_over, "m": m, "q": float(q)}
+    arms = []
+    for label, proto in (
+        ("qos-sampling", "qos-sampling"),
+        ("permit", "permit"),
+        ("selfish-rebalance (QoS-oblivious)", "selfish-rebalance"),
+    ):
+        arms.append(
+            (
+                label,
+                proto,
+                dict(
+                    generator="overloaded",
+                    generator_kwargs=gen_kwargs,
+                    protocol=proto,
+                    n_reps=n_reps,
+                    max_rounds=max_rounds,
+                    initial="pile",
+                    label=f"t4-{label}",
+                ),
+            )
+        )
+    return q, n_over, arms
+
+
+def t4_cells(
+    *,
+    n: int = 2048,
+    m: int = 64,
+    n_drift_runs: int = 8,
+    n_reps: int = 10,
+    max_rounds: int = 20_000,
+    workers: int | None = 0,
+) -> list:
+    """Cell decomposition of T4's part (b) — the three overload arms.
+
+    Part (a) (drift estimation) has no cell shape and is excluded; the
+    signature still accepts the full preset (``n_drift_runs`` ignored).
+    """
+    del n_drift_runs, workers
+    _, _, arms = _t4_overload_arms(n=n, m=m, n_reps=n_reps, max_rounds=max_rounds)
+    return [cell_spec(**kwargs) for _, _, kwargs in arms]
+
+
 def t4_drift_and_oblivious(
     *,
     n: int = 2048,
@@ -191,28 +246,11 @@ def t4_drift_and_oblivious(
     # protocols fill resources up to capacity and then stop admitting:
     # they protect close to OPT_sat = (m-1)*q users (from the pile start;
     # see T2 for the initial-state dependence).
-    q = max(2, n // (2 * m))
-    n_over = int(1.5 * m * q)
-    gen_kwargs = {"n": n_over, "m": m, "q": float(q)}
+    q, n_over, arms = _t4_overload_arms(n=n, m=m, n_reps=n_reps, max_rounds=max_rounds)
     opt_sat = (m - 1) * q
     oblivious_stats = None
-    for label, proto in (
-        ("qos-sampling", "qos-sampling"),
-        ("permit", "permit"),
-        ("selfish-rebalance (QoS-oblivious)", "selfish-rebalance"),
-    ):
-        stats = convergence_stats(
-            cell(
-                generator="overloaded",
-                generator_kwargs=gen_kwargs,
-                protocol=proto,
-                n_reps=n_reps,
-                max_rounds=max_rounds,
-                initial="pile",
-                workers=workers,
-                label=f"t4-{label}",
-            )
-        )
+    for label, proto, kwargs in arms:
+        stats = convergence_stats(cell(**kwargs, workers=workers))
         if proto == "selfish-rebalance":
             oblivious_stats = stats
         satisfied_users = stats["satisfied_fraction_mean"] * n_over
@@ -299,7 +337,10 @@ def t5_tail(
         rounds = np.asarray(
             [r.rounds for r in results if r.status == "satisfying"], dtype=np.float64
         )
-        t_star = whp_quantile(rounds, delta=delta, gamma=0.05)
+        try:
+            t_star = whp_quantile(rounds, delta=delta, gamma=0.05)
+        except ValueError:
+            t_star = None  # sample too small for the requested delta
         try:
             fit = geometric_tail_fit(rounds)
             rate, halving, r2 = fit.rate, fit.halving_time(), fit.r_squared
@@ -334,3 +375,8 @@ def t5_tail(
         findings=findings,
         extra={"tails": tails},
     )
+
+
+def t5_cells(**params):
+    """Cell decomposition of :func:`t5_tail` (nothing simulates)."""
+    return enumerate_cells(t5_tail, **params)

@@ -43,6 +43,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..obs import HUB as _OBS
+
 __all__ = ["FluidSystem", "FluidTrajectory", "run_fluid"]
 
 
@@ -152,12 +154,27 @@ def run_fluid(
         if not np.isclose(x.sum(), 1.0):
             raise ValueError("state mass must sum to 1")
     series = []
-    for _ in range(max_rounds):
-        u = system.total_unsatisfied(x)
-        series.append(u)
-        if u <= eps:
-            break
-        x = system.step(x)
+    with _OBS.span("fluid.run"):
+        for _ in range(max_rounds):
+            u = system.total_unsatisfied(x)
+            series.append(u)
+            if u <= eps:
+                break
+            x = system.step(x)
+    if _OBS.active:
+        _OBS.count("fluid.runs")
+        _OBS.count("fluid.rounds", len(series))
+        _OBS.event(
+            "fluid",
+            {
+                "m": system.m,
+                "k": system.k,
+                "p": system.p,
+                "rounds": len(series),
+                "final_unsatisfied": series[-1] if series else 0.0,
+                "converged": bool(series and series[-1] <= eps),
+            },
+        )
     return FluidTrajectory(
         unsatisfied=np.asarray(series, dtype=np.float64), final_state=x
     )

@@ -21,7 +21,7 @@ import numpy as np
 
 from ..core.instance import Instance
 from ..core.potential import rosenthal_potential
-from ..core.state import State
+from ..core.state import State, _frozen
 from ..sim.rng import make_rng
 
 __all__ = [
@@ -30,6 +30,22 @@ __all__ = [
     "nash_by_best_response",
     "rosenthal_gap",
 ]
+
+
+def _latencies_plus(state: State, w: float) -> np.ndarray:
+    """``ell_r(x_r + w)`` for every resource (cached per weight, read-only).
+
+    The enumeration loops below query hypothetical latencies for every
+    user against the same loads; distinct weight values are few (one, for
+    unit instances), so one vectorized evaluation per (state version,
+    weight) replaces a per-user ``evaluate_at``.  ``(loads + w)[allowed]``
+    is bit-identical to ``loads[allowed] + w``, so cached and uncached
+    scans return identical moves (see tests/test_games.py).
+    """
+    return state.cached(
+        f"latencies_plus:{w!r}",
+        lambda s: _frozen(s.instance.latencies.evaluate(s.loads + w)),
+    )
 
 
 def latency_improving_move(
@@ -48,7 +64,7 @@ def latency_improving_move(
         if allowed.size == 0:
             continue
         w = float(inst.weights[u])
-        lat = inst.latencies.evaluate_at(allowed, state.loads[allowed] + w)
+        lat = _latencies_plus(state, w)[allowed]
         best = int(np.argmin(lat))
         if lat[best] < current[u] - tol:
             return u, int(allowed[best])

@@ -113,6 +113,8 @@ class TelemetryHub:
         "gauges",
         "span_stats",
         "ring",
+        "sample_rate",
+        "_ticks",
         "_stack",
         "_sink",
         "_sink_path",
@@ -125,6 +127,9 @@ class TelemetryHub:
         #: span name -> [count, total seconds, max seconds]
         self.span_stats: dict[str, list[float]] = {}
         self.ring: deque[dict] = deque(maxlen=4096)
+        #: Emit every ``sample_rate``-th high-frequency event (1 = all).
+        self.sample_rate: int = 1
+        self._ticks: dict[str, int] = {}
         self._stack: list[str] = []
         self._sink: TextIO | None = None
         self._sink_path: Path | None = None
@@ -136,6 +141,7 @@ class TelemetryHub:
         jsonl_path: str | Path | None = None,
         *,
         ring_size: int = 4096,
+        sample_rate: int = 1,
         **meta: Any,
     ) -> None:
         """Start collecting; previous counters/events are discarded.
@@ -144,13 +150,22 @@ class TelemetryHub:
         (one run per file by convention); without it events only land in
         the in-memory ring buffer.  ``meta`` keys are recorded in the
         header line next to the provenance stamp.
+
+        ``sample_rate`` thins *high-frequency* events: call sites that
+        guard with :meth:`tick` emit only every ``sample_rate``-th
+        occurrence (deterministic counter, no randomness on the hot
+        path).  Spans, counters and low-frequency events are unaffected.
         """
         if self.active:
             raise RuntimeError("telemetry hub is already enabled")
+        if sample_rate < 1:
+            raise ValueError("sample_rate must be >= 1")
         self.counters = {}
         self.gauges = {}
         self.span_stats = {}
         self.ring = deque(maxlen=int(ring_size))
+        self.sample_rate = int(sample_rate)
+        self._ticks = {}
         self._stack = []
         if jsonl_path is not None:
             path = Path(jsonl_path)
@@ -163,6 +178,7 @@ class TelemetryHub:
             {
                 "schema": OBS_EVENTS_SCHEMA,
                 "provenance": provenance_stamp(),
+                "sample_rate": self.sample_rate,
                 "meta": dict(meta),
             },
         )
@@ -218,6 +234,23 @@ class TelemetryHub:
         if not self.active:
             return
         self.counters[name] = self.counters.get(name, 0) + value
+
+    def tick(self, name: str) -> bool:
+        """Deterministic sampler for high-frequency events.
+
+        Returns True on every ``sample_rate``-th call per ``name`` (and
+        always on the first), so per-round events thin uniformly without
+        touching any RNG.  Hot paths guard with
+        ``if HUB.active and HUB.tick("round"):`` — with the default
+        ``sample_rate=1`` this short-circuits to the old behaviour at the
+        cost of one extra comparison.
+        """
+        rate = self.sample_rate
+        if rate <= 1:
+            return True
+        seen = self._ticks.get(name, 0)
+        self._ticks[name] = seen + 1
+        return seen % rate == 0
 
     def gauge(self, name: str, value: float) -> None:
         """Record the latest value of a point-in-time measurement."""

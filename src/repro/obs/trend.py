@@ -25,6 +25,7 @@ _METRICS: dict[str, tuple[str, str]] = {
     "replicate": ("reps_per_sec", "reps/s"),
     "query": ("cache_speedup", "x speedup"),
     "obs": ("enabled_rounds_per_sec", "rounds/s"),
+    "runs": ("speedup_2w", "x speedup"),
 }
 
 

@@ -1,0 +1,71 @@
+"""``repro.runs`` — durable, resumable, parallel sweep orchestration.
+
+The experiment suite decomposes into independent *cells* (one replicated
+:class:`~repro.sim.parallel.RunSpec` each).  This package runs them as a
+production sweep system:
+
+- :mod:`repro.runs.store` — content-addressed result cache
+  (``runs-cell/v1`` payloads keyed by a stable spec hash);
+- :mod:`repro.runs.journal` — append-only sweep journal
+  (``runs-journal/v1``, truncation-tolerant reader);
+- :mod:`repro.runs.scheduler` — multiprocess execution with
+  longest-expected-first ordering, per-cell timeouts and bounded retry;
+- :mod:`repro.runs.sweep` — ``repro-qoslb sweep`` / ``--resume`` /
+  ``runs status`` / ``runs gc`` orchestration on top.
+
+See ``docs/RUNS.md`` for the store layout, schemas and failure policy.
+"""
+
+from .journal import JOURNAL_SCHEMA, Journal, read_journal
+from .scheduler import (
+    DEFAULT_RETRIES,
+    DEFAULT_TIMEOUT,
+    CellTimeout,
+    backoff_delay,
+    execute_cell,
+    run_cells,
+)
+from .store import (
+    CELL_SCHEMA,
+    CellSpec,
+    ResultStore,
+    active_store,
+    build_payload,
+    cell_key,
+    results_from_payload,
+    use_store,
+)
+from .sweep import (
+    enumerate_sweep,
+    render_status,
+    resume_sweep,
+    run_sweep,
+    sweep_status,
+    sweepable_experiments,
+)
+
+__all__ = [
+    "CELL_SCHEMA",
+    "JOURNAL_SCHEMA",
+    "CellSpec",
+    "CellTimeout",
+    "DEFAULT_RETRIES",
+    "DEFAULT_TIMEOUT",
+    "Journal",
+    "ResultStore",
+    "active_store",
+    "backoff_delay",
+    "build_payload",
+    "cell_key",
+    "enumerate_sweep",
+    "execute_cell",
+    "read_journal",
+    "render_status",
+    "results_from_payload",
+    "resume_sweep",
+    "run_cells",
+    "run_sweep",
+    "sweep_status",
+    "sweepable_experiments",
+    "use_store",
+]

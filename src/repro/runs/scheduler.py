@@ -1,0 +1,295 @@
+"""Multiprocess cell scheduler: cache-aware, prioritised, self-healing.
+
+:func:`run_cells` drives a batch of :class:`~repro.runs.store.CellSpec`
+through the content-addressed store and a ``ProcessPoolExecutor``:
+
+- **cache first** — cells already in the store are journalled
+  ``finished (cached)`` without executing (``force=True`` bypasses);
+- **longest-expected-first** — pending cells are submitted to the pool's
+  shared queue ordered by prior duration from the store (unknown cells
+  first: they might be the longest), so idle workers steal the big cells
+  early and the tail of the sweep is short;
+- **per-cell timeout** — enforced *inside* the worker via ``SIGALRM``
+  (pool futures cannot be cancelled once running); on platforms or
+  threads without signal support the timeout degrades to unbounded;
+- **bounded retry with backoff** — a failing cell is resubmitted up to
+  ``retries`` more times, each attempt sleeping an exponentially growing,
+  capped delay first (the msgsim self-healing agents' retransmission
+  idiom); exhausted cells are journalled ``failed`` and the sweep
+  *completes* with a non-zero ``failed`` count instead of aborting.
+
+Workers execute :func:`execute_cell` — replication is serial inside the
+worker (the cell is the fan-out unit) and the telemetry hub is inherited
+disabled, so the parent's obs spans/counters describe the sweep itself.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from contextlib import contextmanager
+from typing import Any, Iterator, Sequence
+
+from ..obs import HUB as _OBS
+from .journal import Journal
+from .store import CellSpec, ResultStore, build_payload, cell_key
+
+__all__ = [
+    "CellTimeout",
+    "DEFAULT_TIMEOUT",
+    "DEFAULT_RETRIES",
+    "backoff_delay",
+    "execute_cell",
+    "run_cells",
+]
+
+#: Per-cell wall-clock budget (seconds); generous — cells are CI-sized
+#: by default and a hung cell should fail long before the sweep does.
+DEFAULT_TIMEOUT = 900.0
+#: Extra attempts after the first failure.
+DEFAULT_RETRIES = 2
+#: Backoff: ``min(cap, base * 2**attempt)`` seconds before retry *attempt*.
+BACKOFF_BASE = 0.25
+BACKOFF_CAP = 8.0
+
+
+class CellTimeout(RuntimeError):
+    """A cell exceeded its per-cell wall-clock budget."""
+
+
+def backoff_delay(
+    attempt: int, *, base: float = BACKOFF_BASE, cap: float = BACKOFF_CAP
+) -> float:
+    """Capped exponential backoff before retry ``attempt`` (0-based)."""
+    return min(cap, base * (2.0**attempt))
+
+
+@contextmanager
+def _deadline(seconds: float | None) -> Iterator[None]:
+    """Raise :class:`CellTimeout` after ``seconds`` of wall clock.
+
+    Uses ``SIGALRM``/``setitimer`` — available on the main thread of a
+    POSIX process, which is exactly where pool workers run their tasks.
+    Elsewhere (Windows, non-main threads) it is a no-op.
+    """
+    usable = (
+        seconds is not None
+        and seconds > 0
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        yield
+        return
+
+    def _on_alarm(signum: int, frame: object) -> None:
+        raise CellTimeout(f"cell exceeded {seconds:g}s timeout")
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, max(float(seconds), 1e-3))
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def execute_cell(
+    cell: CellSpec, timeout: float | None = None, delay: float = 0.0
+) -> dict[str, Any]:
+    """Worker entry point: one cell to a ``runs-cell/v1`` payload.
+
+    ``delay`` is the retry backoff, slept in the worker so the parent's
+    collection loop never blocks.  No store I/O happens here — the parent
+    owns the store, keeping writes single-process and atomic.
+    """
+    if delay > 0:
+        time.sleep(delay)
+    started = time.perf_counter()
+    with _deadline(timeout):
+        results = cell.run()
+    return build_payload(cell, results, duration_s=time.perf_counter() - started)
+
+
+def _journal_cell(journal: Journal | None, record_type: str, key: str, cell: CellSpec, **fields: Any) -> None:
+    if journal is not None:
+        journal.append(
+            record_type,
+            key=key,
+            experiment_id=cell.experiment_id,
+            label=cell.spec.label,
+            **fields,
+        )
+
+
+def run_cells(
+    cells: Sequence[CellSpec],
+    *,
+    store: ResultStore,
+    journal: Journal | None = None,
+    workers: int | None = 0,
+    timeout: float | None = DEFAULT_TIMEOUT,
+    retries: int = DEFAULT_RETRIES,
+    force: bool = False,
+    max_cells: int | None = None,
+) -> dict[str, Any]:
+    """Execute a batch of cells through the cache and the pool.
+
+    Returns a summary dict (cell/cached/run/failed/deferred counts, the
+    failure list, wall time).  ``max_cells`` caps how many *pending* cells
+    execute this invocation — the rest are journalled ``scheduled`` only
+    and picked up by a later resume (an operational budget knob, also the
+    deterministic interruption used by the resumability tests).
+    """
+    t_start = time.perf_counter()
+    by_key: dict[str, CellSpec] = {}
+    for cell in cells:
+        by_key.setdefault(cell_key(cell), cell)
+    order = list(by_key)
+
+    with _OBS.span("runs.schedule"):
+        for key in order:
+            _journal_cell(journal, "scheduled", key, by_key[key], n_reps=by_key[key].n_reps)
+        _OBS.count("runs.cells_scheduled", len(order))
+
+        cached: list[str] = []
+        pending: list[str] = []
+        for key in order:
+            if not force and store.has(key):
+                cached.append(key)
+                _journal_cell(journal, "finished", key, by_key[key], cached=True)
+                if _OBS.active:
+                    _OBS.count("runs.cells_cached")
+                    _OBS.event(
+                        "cell",
+                        {
+                            "key": key,
+                            "experiment_id": by_key[key].experiment_id,
+                            "label": by_key[key].spec.label,
+                            "status": "cached",
+                            "seconds": 0.0,
+                        },
+                    )
+            else:
+                pending.append(key)
+
+        # Longest-expected-first; cells with no prior duration sort first
+        # (they might be the longest — pessimism keeps the tail short).
+        pending.sort(key=lambda k: -(store.duration(k) or float("inf")))
+        if max_cells is not None and max_cells >= 0:
+            deferred = pending[max_cells:]
+            pending = pending[:max_cells]
+        else:
+            deferred = []
+
+        ran: list[str] = []
+        failures: list[dict[str, Any]] = []
+
+        def on_success(key: str, payload: dict[str, Any]) -> None:
+            store.put(payload)
+            seconds = payload["duration_s"]
+            _journal_cell(journal, "finished", key, by_key[key], cached=False, seconds=seconds)
+            ran.append(key)
+            if _OBS.active:
+                _OBS.count("runs.cells_run")
+                _OBS.event(
+                    "cell",
+                    {
+                        "key": key,
+                        "experiment_id": by_key[key].experiment_id,
+                        "label": by_key[key].spec.label,
+                        "status": "finished",
+                        "seconds": seconds,
+                    },
+                )
+
+        def on_failure(key: str, error: BaseException, attempts: int) -> None:
+            _journal_cell(
+                journal, "failed", key, by_key[key], error=repr(error), attempts=attempts
+            )
+            failures.append(
+                {
+                    "key": key,
+                    "experiment_id": by_key[key].experiment_id,
+                    "label": by_key[key].spec.label,
+                    "error": repr(error),
+                    "attempts": attempts,
+                }
+            )
+            if _OBS.active:
+                _OBS.count("runs.cells_failed")
+                _OBS.event(
+                    "cell",
+                    {
+                        "key": key,
+                        "experiment_id": by_key[key].experiment_id,
+                        "label": by_key[key].spec.label,
+                        "status": "failed",
+                        "error": repr(error),
+                    },
+                )
+
+        pool_size = 0 if workers is None else int(workers)
+        if pool_size <= 1:
+            for key in pending:
+                last_error: BaseException | None = None
+                for attempt in range(retries + 1):
+                    _journal_cell(journal, "started", key, by_key[key], attempt=attempt)
+                    try:
+                        payload = execute_cell(
+                            by_key[key],
+                            timeout,
+                            backoff_delay(attempt - 1) if attempt else 0.0,
+                        )
+                    except Exception as exc:
+                        last_error = exc
+                        continue
+                    on_success(key, payload)
+                    last_error = None
+                    break
+                if last_error is not None:
+                    on_failure(key, last_error, attempts=retries + 1)
+        else:
+            with ProcessPoolExecutor(max_workers=pool_size) as pool:
+                futures: dict[Any, tuple[str, int]] = {}
+                for key in pending:  # submission order = priority order
+                    _journal_cell(journal, "started", key, by_key[key], attempt=0)
+                    futures[pool.submit(execute_cell, by_key[key], timeout)] = (key, 0)
+                while futures:
+                    done, _ = wait(futures, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        key, attempt = futures.pop(future)
+                        try:
+                            payload = future.result()
+                        except Exception as exc:
+                            if attempt < retries:
+                                _journal_cell(
+                                    journal, "started", key, by_key[key], attempt=attempt + 1
+                                )
+                                futures[
+                                    pool.submit(
+                                        execute_cell,
+                                        by_key[key],
+                                        timeout,
+                                        backoff_delay(attempt),
+                                    )
+                                ] = (key, attempt + 1)
+                            else:
+                                on_failure(key, exc, attempts=retries + 1)
+                            continue
+                        on_success(key, payload)
+
+    wall_s = time.perf_counter() - t_start
+    if _OBS.active:
+        _OBS.gauge("runs.wall_s", wall_s)
+    return {
+        "cells": len(order),
+        "cached": len(cached),
+        "run": len(ran),
+        "failed": len(failures),
+        "deferred": len(deferred),
+        "failures": failures,
+        "wall_s": wall_s,
+    }

@@ -1,0 +1,268 @@
+"""Content-addressed result store for experiment cells.
+
+A *cell* is the atom of the experiment suite: one fully-resolved
+:class:`~repro.sim.parallel.RunSpec` replicated ``n_reps`` times from a
+``base_seed`` (plus an optional common-random-numbers ``seed_key``).  Its
+results are a pure function of that description — the engine is
+deterministic given the derived seeds — so results can be cached under a
+stable hash of the description and served on any later sweep, resume, or
+table render that asks for the same cell.
+
+Key material is the canonical JSON of :meth:`CellSpec.describe` (the same
+``sort_keys`` canonicalization :func:`~repro.sim.parallel.spec_seed_key`
+uses for seed derivation) salted with the package version, hashed with
+BLAKE2b.  Anything that changes the numbers — generator kwargs, protocol
+kwargs, schedule, ``max_rounds``, ``label`` (labels feed seed derivation),
+``n_reps``, ``base_seed``, ``seed_key``, the package version — changes
+the key; anything that does not (``experiment_id``, worker counts, wall
+clocks) stays out of it.
+
+Stored payloads are the frozen ``runs-cell/v1`` schema: one
+``store/<key>.json`` per cell carrying the cell description, the
+round-level :class:`~repro.sim.engine.RunResult` summaries (trajectories
+and final states are not persisted — replicated sweeps never carry them),
+the execution duration, and a provenance stamp.  :meth:`ResultStore.gc`
+drops payloads from other package versions (and corrupt files).
+
+:func:`use_store` installs a store for :func:`repro.experiments.cell` to
+consult, so re-rendering an experiment after a sweep is pure cache hits.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterator
+
+from ..obs.provenance import provenance_stamp
+from ..sim.engine import RunResult
+from ..sim.parallel import RunSpec, replicate
+
+__all__ = [
+    "CELL_SCHEMA",
+    "RESULT_FIELDS",
+    "CellSpec",
+    "cell_key",
+    "build_payload",
+    "results_from_payload",
+    "ResultStore",
+    "use_store",
+    "active_store",
+]
+
+#: Stored-cell schema identifier (frozen; see tests/test_runs.py).
+CELL_SCHEMA = "runs-cell/v1"
+
+#: RunResult fields persisted per replication (frozen with the schema).
+RESULT_FIELDS = (
+    "status",
+    "rounds",
+    "total_moves",
+    "total_attempts",
+    "total_messages",
+    "n_satisfied",
+    "n_users",
+    "n_resources",
+    "satisfying_round",
+    "last_event_round",
+    "protocol",
+    "schedule",
+    "seed",
+)
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """Plain-data description of one cacheable experiment cell.
+
+    ``experiment_id`` is provenance only — two experiments sharing a cell
+    (same spec, reps, seeds) share its cache entry.
+    """
+
+    spec: RunSpec
+    n_reps: int
+    base_seed: int = 0
+    seed_key: str | None = None
+    experiment_id: str = ""
+
+    def describe(self) -> dict[str, Any]:
+        """Key material: everything that determines the results."""
+        return {
+            "spec": self.spec.describe(),
+            "n_reps": int(self.n_reps),
+            "base_seed": int(self.base_seed),
+            "seed_key": self.seed_key,
+        }
+
+    def run(self) -> list[RunResult]:
+        """Execute the cell serially (the scheduler's in-worker path)."""
+        return replicate(
+            self.spec,
+            self.n_reps,
+            base_seed=self.base_seed,
+            workers=0,
+            seed_key=self.seed_key,
+        )
+
+
+def cell_key(cell: CellSpec) -> str:
+    """Stable content hash of a cell's fully-resolved description."""
+    from .. import __version__
+
+    material = json.dumps(
+        {"schema": CELL_SCHEMA, "package_version": __version__, **cell.describe()},
+        sort_keys=True,
+        default=str,
+    )
+    return hashlib.blake2b(material.encode(), digest_size=16).hexdigest()
+
+
+def _result_to_dict(result: RunResult) -> dict[str, Any]:
+    return {name: getattr(result, name) for name in RESULT_FIELDS}
+
+
+def _result_from_dict(data: dict[str, Any]) -> RunResult:
+    return RunResult(**{name: data[name] for name in RESULT_FIELDS})
+
+
+def build_payload(
+    cell: CellSpec, results: list[RunResult], *, duration_s: float
+) -> dict[str, Any]:
+    """Assemble the ``runs-cell/v1`` payload for one executed cell."""
+    key = cell_key(cell)
+    return {
+        "schema": CELL_SCHEMA,
+        "key": key,
+        "cell": {**cell.describe(), "experiment_id": cell.experiment_id},
+        "results": [_result_to_dict(r) for r in results],
+        "duration_s": float(duration_s),
+        "provenance": provenance_stamp(cell_key=key),
+    }
+
+
+def results_from_payload(payload: dict[str, Any]) -> list[RunResult]:
+    """Reconstruct the round-level results of a stored cell."""
+    return [_result_from_dict(d) for d in payload["results"]]
+
+
+class ResultStore:
+    """One directory of ``<key>.json`` payloads, content-addressed."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def has(self, key: str) -> bool:
+        return self.path(key).exists()
+
+    def keys(self) -> list[str]:
+        return sorted(p.stem for p in self.root.glob("*.json"))
+
+    def get(self, key: str) -> dict[str, Any] | None:
+        """Load one payload; a missing or corrupt file is a cache miss."""
+        path = self.path(key)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        if payload.get("schema") != CELL_SCHEMA or payload.get("key") != key:
+            return None
+        return payload
+
+    def put(self, payload: dict[str, Any]) -> Path:
+        """Atomically write one payload (tmp file + rename)."""
+        if payload.get("schema") != CELL_SCHEMA:
+            raise ValueError(f"expected schema {CELL_SCHEMA}, got {payload.get('schema')!r}")
+        from ..sim.trace import _jsonable
+
+        path = self.path(payload["key"])
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(_jsonable(payload), indent=2, sort_keys=True) + "\n")
+        os.replace(tmp, path)
+        return path
+
+    def duration(self, key: str) -> float | None:
+        """Prior execution time of a cell, for scheduling order."""
+        payload = self.get(key)
+        return None if payload is None else float(payload.get("duration_s", 0.0))
+
+    # -- the cell-level API the experiment layer consumes ----------------------
+
+    def load_results(self, cell: CellSpec) -> list[RunResult] | None:
+        payload = self.get(cell_key(cell))
+        return None if payload is None else results_from_payload(payload)
+
+    def store_results(
+        self, cell: CellSpec, results: list[RunResult], *, duration_s: float
+    ) -> dict[str, Any]:
+        payload = build_payload(cell, results, duration_s=duration_s)
+        self.put(payload)
+        return payload
+
+    # -- invalidation ----------------------------------------------------------
+
+    def gc(self, *, all_versions: bool = False, dry_run: bool = False) -> dict[str, Any]:
+        """Remove stale payloads: wrong schema, corrupt, or (unless
+        ``all_versions``) written by a different package version.
+
+        With ``all_versions=True`` every payload goes — a full cache wipe.
+        Returns counts, freed bytes, and the removed keys.
+        """
+        from .. import __version__
+
+        kept = 0
+        removed: list[str] = []
+        freed = 0
+        for path in sorted(self.root.glob("*.json")):
+            payload = self.get(path.stem)
+            stale = payload is None or all_versions or (
+                payload.get("provenance", {}).get("package_version") != __version__
+            )
+            if not stale:
+                kept += 1
+                continue
+            removed.append(path.stem)
+            freed += path.stat().st_size
+            if not dry_run:
+                path.unlink()
+        return {
+            "kept": kept,
+            "removed": len(removed),
+            "freed_bytes": freed,
+            "removed_keys": removed,
+            "dry_run": dry_run,
+        }
+
+
+# -- active store (consulted by repro.experiments.cell) ------------------------
+
+_ACTIVE: list[ResultStore] = []
+
+
+def active_store() -> ResultStore | None:
+    """The innermost store installed by :func:`use_store`, if any."""
+    return _ACTIVE[-1] if _ACTIVE else None
+
+
+@contextmanager
+def use_store(store: ResultStore | str | Path) -> Iterator[ResultStore]:
+    """Route every ``experiments.cell`` call through ``store``.
+
+    Cache hits return stored results without simulating; misses run and
+    are written back — so any experiment render inside the context is
+    incremental over all prior sweeps sharing the store.
+    """
+    if not isinstance(store, ResultStore):
+        store = ResultStore(store)
+    _ACTIVE.append(store)
+    try:
+        yield store
+    finally:
+        _ACTIVE.pop()

@@ -1,0 +1,220 @@
+"""Sweep orchestration: enumerate cells, run them durably, resume, inspect.
+
+A sweep directory is self-describing::
+
+    <out>/
+      journal.jsonl   # runs-journal/v1: header (config) + cell records
+      store/          # runs-cell/v1 payloads, content-addressed
+      summary.json    # last invocation's summary
+
+:func:`run_sweep` enumerates the cell decomposition of the requested
+experiments (``ExperimentDef.list_cells`` — nothing simulates during
+enumeration), journals the configuration, and hands the cells to the
+scheduler.  Because finished cells live in the content-addressed store,
+*resume is just re-running the same sweep*: :func:`resume_sweep` reads
+the journalled configuration, re-enumerates identical cells, and every
+finished cell is a cache hit — only unfinished (or failed) cells
+execute.  ``force=True`` ignores the store and recomputes everything.
+
+Experiments without a cell decomposition (F8, F11, F12, F13, T3 — their
+runners drive simulations directly) are not sweepable; asking for one is
+an error, and the default experiment list is exactly the sweepable set.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any
+
+from ..obs import HUB as _OBS
+from .journal import Journal, read_journal
+from .scheduler import DEFAULT_RETRIES, DEFAULT_TIMEOUT, run_cells
+from .store import CellSpec, ResultStore
+
+__all__ = [
+    "sweepable_experiments",
+    "enumerate_sweep",
+    "run_sweep",
+    "resume_sweep",
+    "sweep_status",
+    "render_status",
+]
+
+
+def sweepable_experiments() -> list[str]:
+    """Experiment ids with a cell decomposition, in catalogue order."""
+    from ..experiments import EXPERIMENTS  # lazy: experiments imports runs.store
+
+    return [eid for eid, d in sorted(EXPERIMENTS.items()) if d.cells is not None]
+
+
+def enumerate_sweep(
+    experiment_ids: list[str],
+    scale: str = "ci",
+    overrides: dict[str, dict[str, Any]] | None = None,
+) -> list[CellSpec]:
+    """All cells of the requested experiments (nothing is executed)."""
+    from ..experiments import EXPERIMENTS
+
+    cells: list[CellSpec] = []
+    for eid in experiment_ids:
+        key = eid.upper()
+        if key not in EXPERIMENTS:
+            raise KeyError(f"unknown experiment {eid!r}; known: {sorted(EXPERIMENTS)}")
+        definition = EXPERIMENTS[key]
+        if definition.cells is None:
+            raise ValueError(
+                f"{key} has no cell decomposition (its runner drives simulations "
+                f"directly); sweepable: {sweepable_experiments()}"
+            )
+        per_exp = dict((overrides or {}).get(key, {}))
+        cells.extend(definition.list_cells(scale, **per_exp))
+    return cells
+
+
+def _normalise_overrides(overrides: dict[str, dict[str, Any]] | None) -> dict[str, dict[str, Any]]:
+    """JSON-roundtrip the overrides so a resumed sweep re-enumerates the
+    exact same cells the original journalled (tuples become lists either
+    way; generator kwargs accept both)."""
+    return json.loads(json.dumps(overrides or {}, default=str))
+
+
+def run_sweep(
+    experiment_ids: list[str] | None = None,
+    *,
+    out: str | Path,
+    scale: str = "ci",
+    workers: int | None = 0,
+    force: bool = False,
+    timeout: float | None = DEFAULT_TIMEOUT,
+    retries: int = DEFAULT_RETRIES,
+    max_cells: int | None = None,
+    overrides: dict[str, dict[str, Any]] | None = None,
+) -> dict[str, Any]:
+    """Run (or continue) a sweep into ``out``; returns the summary.
+
+    Invoking the same sweep twice is idempotent: the second run is 100%
+    cache hits.  Killing it mid-flight loses at most the in-flight cells;
+    the journal and store keep everything finished.
+    """
+    out_dir = Path(out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    ids = [e.upper() for e in experiment_ids] if experiment_ids else sweepable_experiments()
+    overrides = _normalise_overrides(overrides)
+    config = {
+        "experiments": ids,
+        "scale": scale,
+        "overrides": overrides,
+        "workers": workers,
+    }
+    cells = enumerate_sweep(ids, scale, overrides)
+    store = ResultStore(out_dir / "store")
+    started_unix = time.time()
+    with Journal(out_dir / "journal.jsonl", sweep=config) as journal:
+        with _OBS.span("runs.sweep"):
+            summary = run_cells(
+                cells,
+                store=store,
+                journal=journal,
+                workers=workers,
+                timeout=timeout,
+                retries=retries,
+                force=force,
+                max_cells=max_cells,
+            )
+    summary.update(
+        experiments=ids,
+        scale=scale,
+        out=str(out_dir),
+        started_unix=started_unix,
+    )
+    (out_dir / "summary.json").write_text(
+        json.dumps(summary, indent=2, sort_keys=True, default=str) + "\n"
+    )
+    return summary
+
+
+def resume_sweep(
+    out: str | Path,
+    *,
+    workers: int | None = None,
+    timeout: float | None = DEFAULT_TIMEOUT,
+    retries: int = DEFAULT_RETRIES,
+    max_cells: int | None = None,
+) -> dict[str, Any]:
+    """Continue an interrupted sweep: only unfinished cells execute.
+
+    The configuration comes from the journal header, so the resumed
+    invocation enumerates exactly the cells the original scheduled.
+    ``workers=None`` reuses the journalled worker count.
+    """
+    out_dir = Path(out)
+    data = read_journal(out_dir / "journal.jsonl")
+    config = data["meta"].get("sweep", {})
+    if not config.get("experiments"):
+        raise ValueError(f"{out_dir}: journal header carries no sweep configuration")
+    return run_sweep(
+        config["experiments"],
+        out=out_dir,
+        scale=config.get("scale", "ci"),
+        workers=config.get("workers", 0) if workers is None else workers,
+        timeout=timeout,
+        retries=retries,
+        max_cells=max_cells,
+        overrides=config.get("overrides") or {},
+    )
+
+
+def sweep_status(out: str | Path) -> dict[str, Any]:
+    """Journal + store digest of a sweep directory."""
+    out_dir = Path(out)
+    data = read_journal(out_dir / "journal.jsonl")
+    store = ResultStore(out_dir / "store")
+    per_experiment: dict[str, dict[str, int]] = {}
+    totals = {"scheduled": 0, "started": 0, "finished": 0, "failed": 0}
+    for record in data["cells"].values():
+        eid = record.get("experiment_id") or "?"
+        counts = per_experiment.setdefault(
+            eid, {"scheduled": 0, "started": 0, "finished": 0, "failed": 0}
+        )
+        state = record["type"]
+        counts[state] += 1
+        totals[state] += 1
+    pending = totals["scheduled"] + totals["started"]
+    return {
+        "out": str(out_dir),
+        "config": data["meta"].get("sweep", {}),
+        "experiments": per_experiment,
+        "totals": totals,
+        "pending": pending,
+        "complete": pending == 0 and totals["failed"] == 0,
+        "store_cells": len(store.keys()),
+        "bad_lines": data["bad_lines"],
+    }
+
+
+def render_status(status: dict[str, Any]) -> str:
+    """ASCII table of a sweep's per-experiment progress."""
+    from ..analysis.tables import render_table
+
+    rows = [
+        [eid, c["finished"], c["failed"], c["scheduled"] + c["started"]]
+        for eid, c in sorted(status["experiments"].items())
+    ]
+    totals = status["totals"]
+    rows.append(
+        ["TOTAL", totals["finished"], totals["failed"], status["pending"]]
+    )
+    config = status.get("config", {})
+    title = (
+        f"sweep status — {status['out']} "
+        f"(scale={config.get('scale', '?')}, "
+        f"{'complete' if status['complete'] else 'incomplete'})"
+    )
+    table = render_table(["experiment", "finished", "failed", "pending"], rows, title=title)
+    notes = [f"store: {status['store_cells']} cell payload(s)"]
+    if status["bad_lines"]:
+        notes.append(f"journal: {status['bad_lines']} truncated/torn line(s) skipped")
+    return table + "\n" + "\n".join(f"  {n}" for n in notes)

@@ -222,7 +222,7 @@ def run(
                 if recorder is not None:
                     recorder.record(round_index, state, outcome.n_moved, outcome.n_attempted)
 
-                if _OBS.active:
+                if _OBS.active and _OBS.tick("round"):
                     _OBS.event(
                         "round",
                         {

@@ -175,3 +175,69 @@ def test_bad_kv_arg():
 def test_unknown_experiment():
     with pytest.raises(KeyError):
         main(["run", "ZZ"])
+
+
+# -- sweep orchestration -------------------------------------------------------
+
+
+SWEEP_ARGS = [
+    "sweep", "F1", "--set", "F1.ns=16,32", "--set", "F1.n_reps=2",
+    "--set", "F1.users_per_resource=4", "--timeout", "0",
+]
+
+
+def test_sweep_run_resume_status_gc(tmp_path, capsys):
+    out = tmp_path / "sw"
+    assert main(SWEEP_ARGS + ["--out", str(out), "--max-cells", "1"]) == 0
+    text = capsys.readouterr().out
+    assert "1 run" in text and "1 deferred" in text
+    assert (out / "journal.jsonl").exists()
+    assert (out / "summary.json").exists()
+
+    assert main(["sweep", "--resume", str(out), "--timeout", "0"]) == 0
+    text = capsys.readouterr().out
+    assert "1 cached" in text and "1 run" in text
+
+    assert main(["runs", "status", str(out)]) == 0
+    text = capsys.readouterr().out
+    assert "F1" in text and "complete" in text
+
+    assert main(["runs", "gc", str(out), "--dry-run"]) == 0
+    text = capsys.readouterr().out
+    assert "kept 2" in text
+
+
+def test_sweep_rejects_unknown_set_target(tmp_path):
+    with pytest.raises(SystemExit, match="not in this sweep"):
+        main(["sweep", "F1", "--set", "T4.n=64", "--out", str(tmp_path / "sw")])
+
+
+def test_run_with_store_caches_cells(tmp_path, capsys):
+    store = tmp_path / "store"
+    args = [
+        "run", "F2", "--set", "n=64", "--set", "m=8", "--set", "n_reps=2",
+        "--store", str(store),
+    ]
+    assert main(args) == 0
+    first_keys = sorted(p.name for p in store.glob("*.json"))
+    assert first_keys  # cells were written through
+    assert main(args) == 0  # second render: pure cache hits, same store
+    assert sorted(p.name for p in store.glob("*.json")) == first_keys
+    capsys.readouterr()
+
+
+def test_bench_history_and_trend_directory(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    history = tmp_path / "bench-history"
+    for _ in range(2):
+        assert main(["bench", "--scale", "smoke", "--repeats", "1",
+                     "--history", str(history)]) == 0
+    artifacts = sorted(history.glob("BENCH_engine-*.json"))
+    assert len(artifacts) == 2
+    assert all(a.name.endswith("Z.json") for a in artifacts)
+    capsys.readouterr()
+
+    assert main(["trend", str(history)]) == 0
+    out = capsys.readouterr().out
+    assert "2 artifact(s)" in out
+    assert "runs/overhead" in out

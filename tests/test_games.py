@@ -107,3 +107,43 @@ class TestSatisfactionGame:
         assert counts.shape == (6,)
         assert np.all(counts <= trap_instance.n_users)
         assert np.all(counts >= 0)
+
+
+class TestLatencyCacheDifferential:
+    """The cached ``ell(x + w)`` fast path must be numerically invisible:
+    every game-layer answer is bit-identical with caching disabled."""
+
+    def test_best_response_identical_without_caching(self):
+        from repro.core.state import cache_stats, caching_disabled, reset_cache_stats
+
+        rng = np.random.default_rng(77)
+        for _ in range(10):
+            inst = random_small_instance(rng)
+            reset_cache_stats()
+            cached_nash = nash_by_best_response(inst, seed=5)
+            stats = cache_stats()
+            with caching_disabled():
+                plain_nash = nash_by_best_response(inst, seed=5)
+            assert np.array_equal(cached_nash.assignment, plain_nash.assignment)
+            assert rosenthal_potential(cached_nash) == rosenthal_potential(plain_nash)
+            # the fast path was actually exercised, not silently bypassed
+            assert stats["misses"] > 0
+
+    def test_improving_move_identical_without_caching(self, trap_state):
+        from repro.core.state import caching_disabled
+
+        cached_move = latency_improving_move(trap_state)
+        with caching_disabled():
+            plain_move = latency_improving_move(trap_state)
+        assert cached_move == plain_move
+
+    def test_worst_stable_identical_without_caching(self):
+        from repro.core.state import caching_disabled
+
+        rng = np.random.default_rng(78)
+        for _ in range(5):
+            inst = random_small_instance(rng, max_n=5, max_m=3, max_q=5)
+            worst_cached, _ = worst_stable_satisfaction(inst)
+            with caching_disabled():
+                worst_plain, _ = worst_stable_satisfaction(inst)
+            assert worst_cached == worst_plain

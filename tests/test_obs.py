@@ -115,6 +115,55 @@ def test_counters_gauges_and_ring():
         assert HUB.ring[-1]["i"] == 9
 
 
+# -- deterministic sampling ----------------------------------------------------
+
+
+def test_tick_samples_every_nth_occurrence():
+    with HUB.enabled(sample_rate=4):
+        fired = [HUB.tick("round") for _ in range(12)]
+    assert fired == [True, False, False, False] * 3  # first of each window fires
+    assert sum(fired) == 3
+
+
+def test_tick_rate_one_always_fires_and_counters_unaffected():
+    with HUB.enabled():
+        assert all(HUB.tick("round") for _ in range(5))
+        HUB.count("moves", 7)
+    assert HUB.counters["moves"] == 7
+
+
+def test_tick_counts_per_name_independently():
+    with HUB.enabled(sample_rate=2):
+        a = [HUB.tick("a") for _ in range(4)]
+        b = [HUB.tick("b") for _ in range(3)]
+    assert a == [True, False, True, False]
+    assert b == [True, False, True]
+
+
+def test_enable_rejects_bad_sample_rate():
+    with pytest.raises(ValueError):
+        HUB.enable(sample_rate=0)
+    assert not HUB.active
+
+
+def test_sampled_run_emits_fewer_round_events(small_uniform):
+    """The engine's per-round event stream thins by the configured rate."""
+    from repro.registry import build_protocol
+    from repro.sim.engine import run
+
+    def round_events():
+        return [e for e in HUB.ring if e.get("type") == "round"]
+
+    with HUB.enabled():
+        run(small_uniform, build_protocol("qos-sampling"), seed=3, initial="pile")
+        full = len(round_events())
+    with HUB.enabled(sample_rate=4):
+        run(small_uniform, build_protocol("qos-sampling"), seed=3, initial="pile")
+        sampled = len(round_events())
+    assert full >= 1
+    assert sampled == (full + 3) // 4  # ceil(full / rate): first round always fires
+
+
 # -- spans --------------------------------------------------------------------
 
 
@@ -302,9 +351,20 @@ def test_frozen_bench_engine_schema(bench_payload):
     for f in PROVENANCE_FIELDS:
         assert f in payload["provenance"]
     kinds = {c["kind"] for c in payload["cells"]}
-    assert kinds == {"engine", "replicate", "query", "obs"}
+    assert kinds == {"engine", "replicate", "query", "runs", "obs"}
     engine = next(c for c in payload["cells"] if c["kind"] == "engine")
     assert set(engine) >= {"name", "seconds", "rounds", "rounds_per_sec", "status"}
+    runs = next(c for c in payload["cells"] if c["kind"] == "runs")
+    assert set(runs) >= {
+        "name",
+        "cells",
+        "cpus",
+        "seconds",
+        "seconds_2w",
+        "speedup_2w",
+        "cached_seconds",
+        "cached_cells",
+    }
     obs = next(c for c in payload["cells"] if c["kind"] == "obs")
     assert set(obs) >= {
         "name",
@@ -313,6 +373,9 @@ def test_frozen_bench_engine_schema(bench_payload):
         "overhead_pct",
         "per_round_cost_enabled_us",
         "per_round_cost_disabled_us",
+        "per_round_cost_sampled_us",
+        "sample_rate",
+        "overhead_pct_sampled",
         "cache_hits",
         "cache_misses",
     }
@@ -325,6 +388,19 @@ def test_obs_cell_within_budget(bench_payload):
     assert obs["overhead_pct"] <= 5.0
     assert obs["per_round_cost_enabled_us"] < 25.0  # absolute sanity bound
     assert obs["cache_misses"] > 0  # the instrumented run exercised the cache
+    # Sampled mode must stay within the same budget (it does strictly less
+    # work per round than full capture) and carry its configured rate.
+    assert obs["sample_rate"] > 1
+    assert obs["overhead_pct_sampled"] <= 5.0
+    assert obs["per_round_cost_sampled_us"] < 25.0
+
+
+def test_bench_runs_cell_cached_rerun_is_free(bench_payload):
+    """The sweep-overhead cell: a fully-cached re-run skips all execution."""
+    payload, _ = bench_payload
+    runs = next(c for c in payload["cells"] if c["kind"] == "runs")
+    assert runs["cached_cells"] == runs["cells"]  # second pass was 100% hits
+    assert runs["cached_seconds"] < runs["seconds"]  # and far cheaper than running
 
 
 # -- trend renderer ------------------------------------------------------------

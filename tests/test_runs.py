@@ -1,0 +1,433 @@
+"""The ``repro.runs`` subsystem: store, journal, scheduler, sweeps.
+
+Pins the acceptance criteria of the sweep orchestrator:
+
+1. the content-addressed key covers everything that determines results
+   (spec, reps, seeds, package version) and nothing else (experiment id);
+2. the ``runs-cell/v1`` and ``runs-journal/v1`` formats are frozen —
+   field renames fail loudly here, not in a consumer parsing last
+   month's sweep directory;
+3. resumability: a sweep interrupted after ``k`` of ``N`` cells resumes
+   running exactly ``N - k`` (verified against the journal), and a second
+   identical sweep is 100% cache hits with bit-identical payloads modulo
+   provenance timestamps;
+4. self-healing: an always-failing cell is retried the configured number
+   of times, journalled ``failed``, and the sweep *completes* anyway;
+5. per-cell timeouts surface as :class:`~repro.runs.CellTimeout`.
+
+The 2-worker speedup claim (bench ``runs/overhead`` cell) is asserted in
+a stress-marked test gated on having at least two usable cores.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+
+import pytest
+
+from repro.runs import (
+    CELL_SCHEMA,
+    JOURNAL_SCHEMA,
+    CellSpec,
+    CellTimeout,
+    Journal,
+    ResultStore,
+    backoff_delay,
+    build_payload,
+    cell_key,
+    execute_cell,
+    read_journal,
+    render_status,
+    results_from_payload,
+    resume_sweep,
+    run_cells,
+    run_sweep,
+    sweep_status,
+    sweepable_experiments,
+    use_store,
+)
+from repro.runs.store import RESULT_FIELDS
+from repro.sim.parallel import RunSpec
+
+
+def tiny_cell(label="c0", *, n=16, m=4, n_reps=2, base_seed=0, **spec_kwargs):
+    """A millisecond-scale cell; every field overridable for key tests."""
+    fields = dict(
+        generator="uniform_slack",
+        generator_kwargs={"n": n, "m": m, "slack": 0.5},
+        protocol="qos-sampling",
+        initial="pile",
+        max_rounds=500,
+        label=label,
+    )
+    fields.update(spec_kwargs)
+    return CellSpec(spec=RunSpec(**fields), n_reps=n_reps, base_seed=base_seed)
+
+
+def failing_cell(label="boom"):
+    """A cell whose generator does not exist — fails on every attempt."""
+    spec = RunSpec(generator="no-such-generator", label=label)
+    return CellSpec(spec=spec, n_reps=1)
+
+
+#: Tiny F1 configuration used by the sweep-level tests (3 cells, <1s).
+F1_OVERRIDES = {"F1": {"ns": [16, 32, 64], "n_reps": 2, "users_per_resource": 4}}
+
+
+# -- cell keys -----------------------------------------------------------------
+
+
+def test_cell_key_is_deterministic():
+    assert cell_key(tiny_cell()) == cell_key(tiny_cell())
+
+
+@pytest.mark.parametrize(
+    "variant",
+    [
+        tiny_cell(label="other"),
+        tiny_cell(n=17),
+        tiny_cell(n_reps=3),
+        tiny_cell(base_seed=1),
+        tiny_cell(max_rounds=501),
+        tiny_cell(protocol="qos-permit"),
+        dataclasses.replace(tiny_cell(), seed_key="pinned"),
+    ],
+)
+def test_cell_key_covers_result_determining_fields(variant):
+    assert cell_key(variant) != cell_key(tiny_cell())
+
+
+def test_experiment_id_is_provenance_not_key_material():
+    base = tiny_cell()
+    stamped = dataclasses.replace(base, experiment_id="F1")
+    assert cell_key(stamped) == cell_key(base)
+
+
+def test_sweep_cell_keys_are_unique():
+    from repro.runs import enumerate_sweep
+
+    cells = enumerate_sweep(sweepable_experiments(), scale="ci")
+    keys = [cell_key(c) for c in cells]
+    assert len(keys) == len(set(keys))
+    assert all(c.experiment_id for c in cells)
+
+
+# -- frozen runs-cell/v1 -------------------------------------------------------
+
+
+def test_frozen_runs_cell_schema(tmp_path):
+    cell = tiny_cell()
+    results = cell.run()
+    payload = build_payload(cell, results, duration_s=0.5)
+    assert payload["schema"] == CELL_SCHEMA == "runs-cell/v1"
+    assert set(payload) == {"schema", "key", "cell", "results", "duration_s", "provenance"}
+    assert payload["key"] == cell_key(cell)
+    assert set(payload["cell"]) == {"spec", "n_reps", "base_seed", "seed_key", "experiment_id"}
+    for entry in payload["results"]:
+        assert set(entry) == set(RESULT_FIELDS)
+    # and it survives a JSON round trip through the store bit-for-bit
+    store = ResultStore(tmp_path)
+    store.put(payload)
+    assert store.get(payload["key"]) == json.loads(json.dumps(payload))
+
+
+def test_store_round_trip_reconstructs_results(tmp_path):
+    cell = tiny_cell()
+    results = cell.run()
+    store = ResultStore(tmp_path)
+    store.store_results(cell, results, duration_s=0.1)
+    loaded = store.load_results(cell)
+    assert loaded is not None and len(loaded) == len(results)
+    for a, b in zip(results, loaded):
+        for name in RESULT_FIELDS:
+            assert getattr(a, name) == getattr(b, name)
+    assert store.duration(cell_key(cell)) == pytest.approx(0.1)
+
+
+def test_store_corrupt_payload_is_a_miss_and_gc_removes_it(tmp_path):
+    store = ResultStore(tmp_path)
+    cell = tiny_cell()
+    store.store_results(cell, cell.run(), duration_s=0.1)
+    (tmp_path / "deadbeef.json").write_text("{not json")
+    assert store.get("deadbeef") is None
+    preview = store.gc(dry_run=True)
+    assert preview["dry_run"] and preview["removed_keys"] == ["deadbeef"]
+    assert (tmp_path / "deadbeef.json").exists()  # dry run deletes nothing
+    swept = store.gc()
+    assert swept["kept"] == 1 and swept["removed"] == 1
+    assert not (tmp_path / "deadbeef.json").exists()
+    assert store.gc(all_versions=True)["removed"] == 1  # full wipe
+    assert store.keys() == []
+
+
+def test_store_rejects_foreign_schema(tmp_path):
+    with pytest.raises(ValueError, match="runs-cell/v1"):
+        ResultStore(tmp_path).put({"schema": "other/v9", "key": "k"})
+
+
+# -- frozen runs-journal/v1 ----------------------------------------------------
+
+
+def test_frozen_runs_journal_schema(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    with Journal(path, sweep={"experiments": ["F1"], "scale": "ci"}) as journal:
+        journal.append("scheduled", key="k1", experiment_id="F1", label="a")
+        journal.append("started", key="k1", experiment_id="F1", label="a", attempt=0)
+        journal.append("finished", key="k1", experiment_id="F1", label="a", cached=False)
+    lines = [json.loads(l) for l in path.read_text().splitlines()]
+    header = lines[0]
+    assert header["type"] == "meta"
+    assert header["schema"] == JOURNAL_SCHEMA == "runs-journal/v1"
+    assert set(header) >= {"type", "t", "schema", "sweep", "provenance"}
+    assert all({"type", "t", "key"} <= set(l) for l in lines[1:])
+
+    data = read_journal(path)
+    assert data["meta"]["sweep"]["experiments"] == ["F1"]
+    assert data["cells"]["k1"]["type"] == "finished"
+    assert data["bad_lines"] == 0
+
+
+def test_journal_tolerates_torn_trailing_line(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    with Journal(path, sweep={"experiments": ["F1"]}) as journal:
+        journal.append("scheduled", key="k1")
+        journal.append("finished", key="k1", cached=False)
+    with path.open("a") as fh:
+        fh.write('{"type": "finished", "key": "k2", "cach')  # SIGKILL mid-write
+    data = read_journal(path)
+    assert data["bad_lines"] == 1
+    assert set(data["cells"]) == {"k1"}  # the torn record is lost, not the journal
+
+
+def test_journal_reopen_appends_resume_record(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    Journal(path, sweep={"experiments": ["F1"]}).close()
+    Journal(path, sweep={"experiments": ["F1"]}).close()
+    records = [json.loads(l) for l in path.read_text().splitlines()]
+    assert [r["type"] for r in records] == ["meta", "resume"]
+
+
+def test_read_journal_requires_header(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    path.write_text('{"type": "scheduled", "key": "k1"}\n')
+    with pytest.raises(ValueError, match="meta header"):
+        read_journal(path)
+    path.write_text(json.dumps({"type": "meta", "schema": "other/v1"}) + "\n")
+    with pytest.raises(ValueError, match="runs-journal/v1"):
+        read_journal(path)
+
+
+# -- scheduler -----------------------------------------------------------------
+
+
+def test_backoff_is_capped_exponential():
+    assert [backoff_delay(a) for a in range(7)] == [
+        0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 8.0,
+    ]
+
+
+def test_execute_cell_timeout_raises():
+    slow = CellSpec(
+        spec=RunSpec(
+            generator="uniform_slack",
+            generator_kwargs={"n": 2048, "m": 32, "slack": 0.25},
+            protocol="qos-sampling",
+            protocol_kwargs={"rate": {"name": "slack-proportional"}},
+            initial="pile",
+            max_rounds=1_000_000,
+            label="slow",
+        ),
+        n_reps=50,
+    )
+    with pytest.raises(CellTimeout):
+        execute_cell(slow, timeout=0.01)
+
+
+def test_failing_cell_retried_then_failed_without_aborting(tmp_path):
+    cells = [failing_cell(), tiny_cell("survivor")]
+    journal_path = tmp_path / "journal.jsonl"
+    with Journal(journal_path, sweep={"experiments": []}) as journal:
+        summary = run_cells(
+            cells, store=ResultStore(tmp_path / "store"), journal=journal,
+            workers=0, timeout=None, retries=2,
+        )
+    assert summary["failed"] == 1 and summary["run"] == 1  # sweep completed
+    [failure] = summary["failures"]
+    assert failure["attempts"] == 3  # first try + 2 retries
+    data = read_journal(journal_path)
+    bad_key = cell_key(failing_cell())
+    started = [r for r in data["records"] if r["type"] == "started" and r["key"] == bad_key]
+    assert [r["attempt"] for r in started] == [0, 1, 2]
+    assert data["cells"][bad_key]["type"] == "failed"
+    assert data["cells"][cell_key(tiny_cell("survivor"))]["type"] == "finished"
+
+
+def test_run_cells_dedupes_identical_cells(tmp_path):
+    summary = run_cells(
+        [tiny_cell(), tiny_cell()], store=ResultStore(tmp_path), workers=0, timeout=None
+    )
+    assert summary["cells"] == 1 and summary["run"] == 1
+
+
+def test_max_cells_defers_then_resume_completes(tmp_path):
+    cells = [tiny_cell(f"c{i}") for i in range(3)]
+    store = ResultStore(tmp_path)
+    first = run_cells(cells, store=store, workers=0, timeout=None, max_cells=1)
+    assert first == {**first, "run": 1, "deferred": 2, "cached": 0}
+    second = run_cells(cells, store=store, workers=0, timeout=None)
+    assert second == {**second, "run": 2, "deferred": 0, "cached": 1}
+    third = run_cells(cells, store=store, workers=0, timeout=None)
+    assert third == {**third, "run": 0, "cached": 3}
+
+
+def test_force_reruns_cached_cells(tmp_path):
+    store = ResultStore(tmp_path)
+    run_cells([tiny_cell()], store=store, workers=0, timeout=None)
+    summary = run_cells([tiny_cell()], store=store, workers=0, timeout=None, force=True)
+    assert summary["cached"] == 0 and summary["run"] == 1
+
+
+def test_longest_expected_first_ordering(tmp_path):
+    store = ResultStore(tmp_path)
+    quick, slow, unknown = tiny_cell("quick"), tiny_cell("slow"), tiny_cell("unknown")
+    store.store_results(quick, quick.run(), duration_s=0.1)
+    store.store_results(slow, slow.run(), duration_s=9.0)
+    # force=True ignores the cache but still orders by prior duration;
+    # max_cells=1 exposes the head of the priority order via the journal.
+    journal_path = tmp_path / "journal.jsonl"
+    with Journal(journal_path, sweep={"experiments": []}) as journal:
+        run_cells(
+            [quick, slow, unknown], store=store, journal=journal,
+            workers=0, timeout=None, force=True, max_cells=1,
+        )
+    data = read_journal(journal_path)
+    started = [r["key"] for r in data["records"] if r["type"] == "started"]
+    assert started == [cell_key(unknown)]  # never-seen first: might be longest
+
+
+# -- sweep orchestration -------------------------------------------------------
+
+
+def test_sweepable_set_excludes_direct_runners():
+    ids = sweepable_experiments()
+    assert set(ids) >= {"F1", "F2", "T1", "T4", "T5"}
+    assert set(ids).isdisjoint({"F8", "F11", "F12", "F13", "T3"})
+
+
+def test_interrupted_sweep_resumes_exactly_the_remainder(tmp_path):
+    out = tmp_path / "sweep"
+    first = run_sweep(
+        ["F1"], out=out, workers=0, timeout=None, max_cells=1, overrides=F1_OVERRIDES
+    )
+    assert first["cells"] == 3 and first["run"] == 1 and first["deferred"] == 2
+
+    resumed = resume_sweep(out, timeout=None)
+    assert resumed["cached"] == 1 and resumed["run"] == 2 and resumed["failed"] == 0
+
+    # Journal-verified: the resumed segment executed exactly N - k cells.
+    data = read_journal(out / "journal.jsonl")
+    resume_at = next(
+        i for i, r in enumerate(data["records"]) if r["type"] == "resume"
+    )
+    executed_after_resume = {
+        r["key"]
+        for r in data["records"][resume_at:]
+        if r["type"] == "finished" and not r.get("cached")
+    }
+    assert len(executed_after_resume) == 2
+    status = sweep_status(out)
+    assert status["complete"] and status["pending"] == 0
+    assert status["store_cells"] == 3
+
+
+def test_second_identical_sweep_is_pure_cache_hits_and_bit_identical(tmp_path):
+    kwargs = dict(workers=0, timeout=None, overrides=F1_OVERRIDES)
+    a = run_sweep(["F1"], out=tmp_path / "a", **kwargs)
+    again = run_sweep(["F1"], out=tmp_path / "a", **kwargs)
+    assert a["run"] == 3 and again == {**again, "cached": 3, "run": 0}
+
+    b = run_sweep(["F1"], out=tmp_path / "b", **kwargs)
+    assert b["run"] == 3
+    store_a, store_b = ResultStore(tmp_path / "a" / "store"), ResultStore(tmp_path / "b" / "store")
+    assert store_a.keys() == store_b.keys() != []
+    for key in store_a.keys():
+        pa, pb = store_a.get(key), store_b.get(key)
+        pa.pop("provenance"), pb.pop("provenance")
+        pa.pop("duration_s"), pb.pop("duration_s")
+        assert pa == pb  # bit-identical modulo provenance/wall-clock
+
+
+def test_parallel_sweep_matches_serial(tmp_path):
+    kwargs = dict(timeout=None, overrides=F1_OVERRIDES)
+    serial = run_sweep(["F1"], out=tmp_path / "serial", workers=0, **kwargs)
+    parallel = run_sweep(["F1"], out=tmp_path / "par", workers=2, **kwargs)
+    assert serial["run"] == parallel["run"] == 3
+    sa, sp = ResultStore(tmp_path / "serial" / "store"), ResultStore(tmp_path / "par" / "store")
+    assert sa.keys() == sp.keys()
+    for key in sa.keys():
+        assert sa.get(key)["results"] == sp.get(key)["results"]
+
+
+def test_sweep_rejects_unsweepable_experiment(tmp_path):
+    with pytest.raises(ValueError, match="no cell decomposition"):
+        run_sweep(["T3"], out=tmp_path / "bad", timeout=None)
+
+
+def test_resume_requires_journalled_config(tmp_path):
+    with pytest.raises((FileNotFoundError, OSError)):
+        resume_sweep(tmp_path / "nowhere")
+
+
+def test_render_status_table(tmp_path):
+    out = tmp_path / "sweep"
+    run_sweep(["F1"], out=out, workers=0, timeout=None, overrides=F1_OVERRIDES)
+    text = render_status(sweep_status(out))
+    assert "F1" in text and "TOTAL" in text and "complete" in text
+
+
+def test_sweep_summary_written(tmp_path):
+    out = tmp_path / "sweep"
+    run_sweep(["F1"], out=out, workers=0, timeout=None, overrides=F1_OVERRIDES)
+    summary = json.loads((out / "summary.json").read_text())
+    assert summary["experiments"] == ["F1"]
+    assert summary["run"] + summary["cached"] == summary["cells"] == 3
+
+
+# -- the experiment layer consumes the store -----------------------------------
+
+
+def test_experiment_render_after_sweep_is_pure_cache_hits(tmp_path):
+    from repro.experiments import run_experiment
+    from repro.obs import HUB
+
+    out = tmp_path / "sweep"
+    run_sweep(["F1"], out=out, workers=0, timeout=None, overrides=F1_OVERRIDES)
+    if HUB.active:  # residue from other modules
+        HUB.disable()
+    with use_store(out / "store"):
+        with HUB.enabled():
+            result = run_experiment("F1", **F1_OVERRIDES["F1"])
+        assert HUB.counters.get("experiments.cells_cached") == 3
+        assert "experiments.cells" not in HUB.counters  # nothing simulated
+    assert result.experiment_id == "F1"
+
+
+# -- the 2-worker speedup claim (needs real cores) -----------------------------
+
+
+def _usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:
+        return os.cpu_count() or 1
+
+
+@pytest.mark.stress
+@pytest.mark.skipif(_usable_cpus() < 2, reason="needs >= 2 usable CPU cores")
+def test_two_workers_measurably_faster_on_multicore():
+    from repro.bench import _time_runs_cell
+
+    cell = _time_runs_cell(n=4096, m=64, max_rounds=128, reps=4)
+    assert cell["speedup_2w"] > 1.1
