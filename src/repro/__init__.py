@@ -78,6 +78,7 @@ from .registry import (
 )
 from .sim import (
     AlphaSchedule,
+    BatchRunResult,
     PartitionSchedule,
     Recorder,
     ResourceFailure,
@@ -89,11 +90,15 @@ from .sim import (
     Trace,
     UserArrival,
     UserDeparture,
+    batch_support,
+    batch_supported,
     replicate,
     run,
+    run_batch,
+    set_default_backend,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -161,6 +166,11 @@ __all__ = [
     "RunResult",
     "RunSpec",
     "replicate",
+    "run_batch",
+    "BatchRunResult",
+    "batch_support",
+    "batch_supported",
+    "set_default_backend",
     "Recorder",
     "Trace",
     "SynchronousSchedule",

@@ -113,6 +113,17 @@ SCALES: dict[str, dict[str, int]] = {
     "full": {"n": 50_000, "m": 1_024, "max_rounds": 128, "repeats": 3, "reps": 8},
 }
 
+#: Replication count for the batched-engine cells (the documented ≥3x
+#: speedup claim is defined over this batch width on the smoke workload).
+BATCH_REPS = 32
+
+#: ENGINE_CELLS entries with a batched kernel, timed batched-vs-serial.
+BATCHED_CELLS: list[tuple[str, str]] = [
+    ("engine/batched/sampling/sync", "unit/sampling/sync"),
+    ("engine/batched/sampling/alpha", "unit/sampling/alpha"),
+    ("engine/batched/sampling-slackrate/sync", "unit/sampling-slackrate/sync"),
+]
+
 
 def _build_cell(cell: dict[str, Any], n: int, m: int):
     from .registry import build_instance, build_protocol, build_schedule
@@ -180,7 +191,9 @@ def _time_replicate_cell(*, n: int, m: int, max_rounds: int, reps: int) -> dict[
         label="bench-replicate",
     )
     started = time.perf_counter()
-    results = replicate(spec, reps, base_seed=0, workers=0)
+    # Pinned to the scalar engine: this cell *is* the serial baseline the
+    # batched cells are compared against.
+    results = replicate(spec, reps, base_seed=0, workers=0, backend="serial")
     elapsed = time.perf_counter() - started
     return {
         "kind": "replicate",
@@ -195,6 +208,92 @@ def _time_replicate_cell(*, n: int, m: int, max_rounds: int, reps: int) -> dict[
         "reps_per_sec": reps / elapsed,
         "total_rounds": int(sum(r.rounds for r in results)),
         "statuses": sorted({r.status for r in results}),
+    }
+
+
+def _time_batched_cell(
+    name: str,
+    cell: dict[str, Any],
+    *,
+    n: int,
+    m: int,
+    max_rounds: int,
+    repeats: int,
+    reps: int = BATCH_REPS,
+) -> dict[str, Any]:
+    """Batched-vs-serial replication throughput on one sampling cell.
+
+    Both sides replicate the same :class:`RunSpec` ``reps`` times in one
+    process; the serial side is pinned to the scalar engine, the batched
+    side runs the whole batch lockstep.  The two backends draw from
+    different bit generators, so total rounds differ slightly — the
+    comparison normalizes to ``user_rounds_per_sec`` (simulated user-round
+    throughput), the unit the ≥3x claim is stated in.
+    """
+    from .sim.parallel import RunSpec, replicate
+
+    gen_kwargs = dict(cell.get("generator_kwargs", {}))
+    gen_kwargs.setdefault("n", n)
+    gen_kwargs.setdefault("m", m)
+    spec = RunSpec(
+        generator=cell["generator"],
+        generator_kwargs=gen_kwargs,
+        protocol=cell["protocol"],
+        protocol_kwargs=dict(cell.get("protocol_kwargs", {})),
+        schedule=cell["schedule"],
+        schedule_kwargs=dict(cell.get("schedule_kwargs", {})),
+        initial="pile",
+        max_rounds=max_rounds,
+        label=f"bench-{name}",
+    )
+
+    # Interleave the two legs (serial, batched, serial, batched, ...) and
+    # take best-of each: machine-speed drift then hits both legs alike and
+    # the reported ratio stays stable across runs.  One untimed warm-up
+    # pair absorbs first-call import/allocation costs.
+    replicate(spec, reps, base_seed=0, workers=0, backend="serial")
+    replicate(spec, reps, base_seed=0, backend="batched")
+    serial_seconds = float("inf")
+    best_seconds = float("inf")
+    serial_results: list[Any] = []
+    batched_results: list[Any] = []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        results = replicate(spec, reps, base_seed=0, workers=0, backend="serial")
+        elapsed = time.perf_counter() - started
+        if elapsed < serial_seconds:
+            serial_seconds = elapsed
+            serial_results = results
+        started = time.perf_counter()
+        results = replicate(spec, reps, base_seed=0, backend="batched")
+        elapsed = time.perf_counter() - started
+        if elapsed < best_seconds:
+            best_seconds = elapsed
+            batched_results = results
+    serial_rounds = max(1, sum(r.rounds for r in serial_results))
+    batched_rounds = max(1, sum(r.rounds for r in batched_results))
+
+    serial_urps = serial_rounds * n / serial_seconds
+    batched_urps = batched_rounds * n / best_seconds
+    return {
+        "kind": "batched",
+        "name": name,
+        "serial_cell": cell["name"],
+        "generator": cell["generator"],
+        "protocol": cell["protocol"],
+        "schedule": cell["schedule"],
+        "n_users": n,
+        "n_resources": m,
+        "reps": reps,
+        "seconds": best_seconds,
+        "serial_seconds": serial_seconds,
+        "rounds": int(batched_rounds),
+        "serial_rounds": int(serial_rounds),
+        "rounds_per_sec": batched_rounds / best_seconds,
+        "user_rounds_per_sec": batched_urps,
+        "serial_user_rounds_per_sec": serial_urps,
+        "speedup_vs_serial": batched_urps / serial_urps,
+        "statuses": sorted({r.status for r in batched_results}),
     }
 
 
@@ -310,13 +409,15 @@ def _time_obs_cell(
 
 
 def _time_runs_cell(*, n: int, m: int, max_rounds: int, reps: int) -> dict[str, Any]:
-    """Sweep-orchestrator overhead: serial vs 2-worker vs fully cached.
+    """Sweep-orchestrator overhead: serial vs 2-worker vs batched vs cached.
 
-    Four independent cells run through :func:`repro.runs.run_cells` three
-    times into throwaway stores: ``workers=1`` (serial baseline),
-    ``workers=2`` (the documented speedup claim — embarrassingly parallel
-    cells should approach 2x minus pool spin-up), and a cached re-run on
-    the 2-worker store (pure store-lookup cost, ~free).
+    Four independent cells run through :func:`repro.runs.run_cells` four
+    times into throwaway stores: ``workers=1`` with the scalar engine
+    (serial baseline), ``workers=2`` scalar (the documented speedup claim
+    — embarrassingly parallel cells should approach 2x minus pool
+    spin-up), ``workers=1`` with the batched engine (one process, whole
+    batch lockstep), and a cached re-run on the 2-worker store (pure
+    store-lookup cost, ~free).
     """
     import shutil
     import tempfile
@@ -350,13 +451,23 @@ def _time_runs_cell(*, n: int, m: int, max_rounds: int, reps: int) -> dict[str, 
     tmp = Path(tempfile.mkdtemp(prefix="bench-runs-"))
     try:
         started = time.perf_counter()
-        run_cells(cells, store=ResultStore(tmp / "serial"), workers=1, timeout=None)
+        run_cells(
+            cells, store=ResultStore(tmp / "serial"), workers=1, timeout=None,
+            backend="serial",
+        )
         seconds = time.perf_counter() - started
 
         store_2w = ResultStore(tmp / "parallel")
         started = time.perf_counter()
-        run_cells(cells, store=store_2w, workers=2, timeout=None)
+        run_cells(cells, store=store_2w, workers=2, timeout=None, backend="serial")
         seconds_2w = time.perf_counter() - started
+
+        started = time.perf_counter()
+        run_cells(
+            cells, store=ResultStore(tmp / "batched"), workers=1, timeout=None,
+            backend="batched",
+        )
+        batched_seconds = time.perf_counter() - started
 
         started = time.perf_counter()
         cached_summary = run_cells(cells, store=store_2w, workers=2, timeout=None)
@@ -378,6 +489,8 @@ def _time_runs_cell(*, n: int, m: int, max_rounds: int, reps: int) -> dict[str, 
         "seconds": seconds,
         "seconds_2w": seconds_2w,
         "speedup_2w": seconds / seconds_2w if seconds_2w else float("inf"),
+        "batched_seconds": batched_seconds,
+        "speedup_batched": seconds / batched_seconds if batched_seconds else float("inf"),
         "cached_seconds": cached_seconds,
         "cached_cells": cached_summary["cached"],
     }
@@ -441,6 +554,17 @@ def run_bench(
     cells.append(
         _time_replicate_cell(n=n, m=m, max_rounds=params["max_rounds"], reps=params["reps"])
     )
+    for batched_name, serial_name in BATCHED_CELLS:
+        cells.append(
+            _time_batched_cell(
+                batched_name,
+                next(c for c in ENGINE_CELLS if c["name"] == serial_name),
+                n=n,
+                m=m,
+                max_rounds=params["max_rounds"],
+                repeats=max(n_repeats, 5),
+            )
+        )
     cells.append(_time_query_cell(n=n, m=m))
     cells.append(
         _time_runs_cell(n=n, m=m, max_rounds=params["max_rounds"], reps=params["reps"])
@@ -486,6 +610,13 @@ def render_bench(payload: dict[str, Any]) -> str:
         elif c["kind"] == "replicate":
             metric = f"{c['reps_per_sec']:,.2f} reps/s"
             detail = f"{c['reps']} reps, {c['total_rounds']} rounds"
+        elif c["kind"] == "batched":
+            metric = f"x{c['speedup_vs_serial']:.2f} vs serial"
+            detail = (
+                f"{c['reps']} reps lockstep, "
+                f"{c['user_rounds_per_sec']:,.0f} user-rounds/s "
+                f"(serial {c['serial_user_rounds_per_sec']:,.0f})"
+            )
         elif c["kind"] == "obs":
             metric = f"{c['overhead_pct']:+.2f}% overhead"
             detail = (
@@ -497,7 +628,9 @@ def render_bench(payload: dict[str, Any]) -> str:
             metric = f"x{c['speedup_2w']:.2f} @2 workers"
             detail = (
                 f"{c['cells']} cells: {c['seconds']:.2f}s serial, "
-                f"{c['seconds_2w']:.2f}s 2w, {c['cached_seconds']:.3f}s cached"
+                f"{c['seconds_2w']:.2f}s 2w, "
+                f"{c['batched_seconds']:.2f}s batched (x{c['speedup_batched']:.2f}), "
+                f"{c['cached_seconds']:.3f}s cached"
             )
         else:
             metric = f"{c['cached_calls_per_sec']:,.0f} calls/s"

@@ -88,10 +88,15 @@ def _store_context(store_arg: str | None):
 
 def _cmd_run(args: argparse.Namespace) -> int:
     from .experiments import run_experiment
+    from .sim.parallel import set_default_backend
 
     overrides = _kv_args(args.set or [])
     if args.workers is not None:
         overrides.setdefault("workers", args.workers)
+    if args.backend is not None:
+        # Process-wide default so every cell of the experiment picks it up
+        # without threading a knob through each runner signature.
+        set_default_backend(args.backend)
     started = time.time()
     with _store_context(args.store):
         result = run_experiment(args.experiment, args.scale, **overrides)
@@ -104,7 +109,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_all(args: argparse.Namespace) -> int:
     from .experiments import EXPERIMENTS
+    from .sim.parallel import set_default_backend
 
+    if args.backend is not None:
+        set_default_backend(args.backend)
     failures = []
     with _store_context(args.store):
         for eid in sorted(EXPERIMENTS):
@@ -164,10 +172,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         HUB.enable(args.obs_out, command="sweep")
     try:
         if args.resume:
-            if args.experiments or args.set:
+            if args.experiments or args.set or args.backend is not None:
                 raise SystemExit(
                     "--resume reuses the journalled configuration; "
-                    "drop the experiment ids / --set overrides"
+                    "drop the experiment ids / --set / --backend overrides"
                 )
             summary = resume_sweep(
                 args.resume,
@@ -193,6 +201,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 retries=retries,
                 max_cells=args.max_cells,
                 overrides=overrides,
+                backend=args.backend,
             )
     finally:
         if args.obs_out:
@@ -421,6 +430,12 @@ def main(argv: list[str] | None = None) -> int:
     p_run.add_argument("--out", help="directory for .txt/.json outputs")
     p_run.add_argument("--workers", type=int, default=None, help="process pool size")
     p_run.add_argument(
+        "--backend",
+        choices=("auto", "batched", "serial"),
+        default=None,
+        help="replication engine (auto = batched where supported)",
+    )
+    p_run.add_argument(
         "--set",
         action="append",
         metavar="KEY=VALUE",
@@ -437,6 +452,12 @@ def main(argv: list[str] | None = None) -> int:
     p_all.add_argument("--scale", choices=("ci", "full"), default="ci")
     p_all.add_argument("--out", help="directory for .txt/.json outputs")
     p_all.add_argument("--workers", type=int, default=None)
+    p_all.add_argument(
+        "--backend",
+        choices=("auto", "batched", "serial"),
+        default=None,
+        help="replication engine (auto = batched where supported)",
+    )
     p_all.add_argument("--store", metavar="DIR", help="content-addressed cell store")
     p_all.set_defaults(fn=_cmd_all)
 
@@ -460,6 +481,12 @@ def main(argv: list[str] | None = None) -> int:
         type=int,
         default=None,
         help="process pool size (0/1 = serial; --resume defaults to the journalled count)",
+    )
+    p_sweep.add_argument(
+        "--backend",
+        choices=("auto", "batched", "serial"),
+        default=None,
+        help="per-cell replication engine; journalled, so --resume reuses it",
     )
     p_sweep.add_argument(
         "--force", action="store_true", help="recompute cells even when cached"

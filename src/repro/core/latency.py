@@ -468,6 +468,8 @@ class LatencyProfile:
             raise ValueError("resources and loads must have matching shapes")
         if self._affine:
             return self._slopes[resources] * loads + self._offsets[resources]
+        if len(self._groups) == 1:  # homogeneous profile: no grouping scan
+            return self._groups[0][0](loads)
         out = np.empty(resources.shape)
         # Group by resource function: evaluate each distinct function over
         # the entries probing one of its resources.
@@ -496,6 +498,8 @@ class LatencyProfile:
         qs = np.asarray(qs, dtype=np.float64)
         if resources.shape != qs.shape:
             raise ValueError("resources and qs must have matching shapes")
+        if len(self._groups) == 1:  # homogeneous profile: no grouping scan
+            return np.asarray(self._groups[0][0].capacity_vec(qs), dtype=np.int64)
         out = np.empty(resources.shape, dtype=np.int64)
         for f, idx in self._groups:
             mask = np.isin(resources, idx)

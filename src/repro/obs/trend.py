@@ -23,6 +23,7 @@ __all__ = ["load_bench_artifacts", "trend_rows", "render_trend"]
 _METRICS: dict[str, tuple[str, str]] = {
     "engine": ("rounds_per_sec", "rounds/s"),
     "replicate": ("reps_per_sec", "reps/s"),
+    "batched": ("speedup_vs_serial", "x vs serial"),
     "query": ("cache_speedup", "x speedup"),
     "obs": ("enabled_rounds_per_sec", "rounds/s"),
     "runs": ("speedup_2w", "x speedup"),

@@ -97,19 +97,24 @@ def _deadline(seconds: float | None) -> Iterator[None]:
 
 
 def execute_cell(
-    cell: CellSpec, timeout: float | None = None, delay: float = 0.0
+    cell: CellSpec,
+    timeout: float | None = None,
+    delay: float = 0.0,
+    backend: str | None = None,
 ) -> dict[str, Any]:
     """Worker entry point: one cell to a ``runs-cell/v1`` payload.
 
     ``delay`` is the retry backoff, slept in the worker so the parent's
-    collection loop never blocks.  No store I/O happens here — the parent
-    owns the store, keeping writes single-process and atomic.
+    collection loop never blocks.  ``backend`` selects the replication
+    engine inside the worker (payloads stay backend-agnostic).  No store
+    I/O happens here — the parent owns the store, keeping writes
+    single-process and atomic.
     """
     if delay > 0:
         time.sleep(delay)
     started = time.perf_counter()
     with _deadline(timeout):
-        results = cell.run()
+        results = cell.run(backend=backend)
     return build_payload(cell, results, duration_s=time.perf_counter() - started)
 
 
@@ -134,6 +139,7 @@ def run_cells(
     retries: int = DEFAULT_RETRIES,
     force: bool = False,
     max_cells: int | None = None,
+    backend: str | None = None,
 ) -> dict[str, Any]:
     """Execute a batch of cells through the cache and the pool.
 
@@ -142,6 +148,8 @@ def run_cells(
     execute this invocation — the rest are journalled ``scheduled`` only
     and picked up by a later resume (an operational budget knob, also the
     deterministic interruption used by the resumability tests).
+    ``backend`` is forwarded to every :func:`execute_cell` call; payloads
+    and cache keys do not depend on it.
     """
     t_start = time.perf_counter()
     by_key: dict[str, CellSpec] = {}
@@ -242,6 +250,7 @@ def run_cells(
                             by_key[key],
                             timeout,
                             backoff_delay(attempt - 1) if attempt else 0.0,
+                            backend,
                         )
                     except Exception as exc:
                         last_error = exc
@@ -256,7 +265,9 @@ def run_cells(
                 futures: dict[Any, tuple[str, int]] = {}
                 for key in pending:  # submission order = priority order
                     _journal_cell(journal, "started", key, by_key[key], attempt=0)
-                    futures[pool.submit(execute_cell, by_key[key], timeout)] = (key, 0)
+                    futures[
+                        pool.submit(execute_cell, by_key[key], timeout, 0.0, backend)
+                    ] = (key, 0)
                 while futures:
                     done, _ = wait(futures, return_when=FIRST_COMPLETED)
                     for future in done:
@@ -274,6 +285,7 @@ def run_cells(
                                         by_key[key],
                                         timeout,
                                         backoff_delay(attempt),
+                                        backend,
                                     )
                                 ] = (key, attempt + 1)
                             else:

@@ -98,14 +98,20 @@ class CellSpec:
             "seed_key": self.seed_key,
         }
 
-    def run(self) -> list[RunResult]:
-        """Execute the cell serially (the scheduler's in-worker path)."""
+    def run(self, backend: str | None = None) -> list[RunResult]:
+        """Execute the cell in one process (the scheduler's in-worker path).
+
+        ``backend`` picks the replication engine (see
+        :func:`~repro.sim.parallel.replicate`); it is an execution knob
+        only — the stored payload and cache key are backend-agnostic.
+        """
         return replicate(
             self.spec,
             self.n_reps,
             base_seed=self.base_seed,
             workers=0,
             seed_key=self.seed_key,
+            backend=backend,
         )
 
 

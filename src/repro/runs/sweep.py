@@ -92,12 +92,15 @@ def run_sweep(
     retries: int = DEFAULT_RETRIES,
     max_cells: int | None = None,
     overrides: dict[str, dict[str, Any]] | None = None,
+    backend: str | None = None,
 ) -> dict[str, Any]:
     """Run (or continue) a sweep into ``out``; returns the summary.
 
     Invoking the same sweep twice is idempotent: the second run is 100%
     cache hits.  Killing it mid-flight loses at most the in-flight cells;
-    the journal and store keep everything finished.
+    the journal and store keep everything finished.  ``backend`` selects
+    the per-cell replication engine (journalled alongside ``workers`` so a
+    resume re-uses it; stored payloads are backend-agnostic).
     """
     out_dir = Path(out)
     out_dir.mkdir(parents=True, exist_ok=True)
@@ -108,6 +111,7 @@ def run_sweep(
         "scale": scale,
         "overrides": overrides,
         "workers": workers,
+        "backend": backend,
     }
     cells = enumerate_sweep(ids, scale, overrides)
     store = ResultStore(out_dir / "store")
@@ -123,6 +127,7 @@ def run_sweep(
                 retries=retries,
                 force=force,
                 max_cells=max_cells,
+                backend=backend,
             )
     summary.update(
         experiments=ids,
@@ -164,6 +169,7 @@ def resume_sweep(
         retries=retries,
         max_cells=max_cells,
         overrides=config.get("overrides") or {},
+        backend=config.get("backend"),
     )
 
 

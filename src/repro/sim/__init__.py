@@ -1,6 +1,13 @@
 """Simulation layer: engine, schedules, metrics, events, replication."""
 
 from .adversary import AdversaryResult, search_worst_initial
+from .batch import (
+    BatchRunResult,
+    batch_support,
+    batch_supported,
+    replicate_batched,
+    run_batch,
+)
 from .engine import RunResult, run
 from .events import (
     Event,
@@ -11,7 +18,7 @@ from .events import (
 )
 from .metrics import Recorder, Trajectory
 from .opensystem import OpenSystemResult, run_open_system
-from .parallel import RunSpec, replicate, run_spec
+from .parallel import RunSpec, replicate, run_spec, set_default_backend
 from .rng import derive_rng, make_rng, seed_from_key, spawn_rngs
 from .schedule import (
     AlphaSchedule,
@@ -31,6 +38,12 @@ __all__ = [
     "RunSpec",
     "replicate",
     "run_spec",
+    "set_default_backend",
+    "BatchRunResult",
+    "run_batch",
+    "batch_support",
+    "batch_supported",
+    "replicate_batched",
     "Recorder",
     "Trajectory",
     "OpenSystemResult",

@@ -1,0 +1,581 @@
+"""Batched replication engine: R replications lockstep in stacked arrays.
+
+Every figure row aggregates dozens of replications of one
+:class:`~repro.sim.parallel.RunSpec`, and the scalar engine's Python round
+loop is the hot path.  The sampling-family dynamics are pure elementwise
+draws plus bincount-style congestion updates, so they vectorize *across
+replications*: this module runs ``R`` replications simultaneously as
+``(R, n_users)`` / ``(R, n_resources)`` arrays — one vectorized step per
+round for the whole batch — and decomposes the outcome into the same
+per-rep :class:`~repro.sim.engine.RunResult` summaries the experiments
+consume.
+
+RNG stream contract
+-------------------
+
+Each replication owns an independent generator stream (integer seeds go
+through ``numpy.random.default_rng``, exactly like the scalar path) and
+the batched engine makes that stream's calls in **exactly the scalar
+engine's order and sizes** (initial-state draw, then per executed round:
+the alpha activation mask, the mover target draw, the mover uniform draw).
+All arithmetic between draws is elementwise-identical IEEE float work, so
+the scalar engine fed the *same* stream reproduces a batched replication
+**bit for bit** — and because :func:`replicate_batched` derives the same
+per-rep integer seeds as the serial path, ``backend="serial"`` and
+``backend="batched"`` produce **bit-identical** per-rep results, not just
+distributionally equivalent ones.  The differential tests pin both.
+
+Termination is per-replication via an ``alive`` mask: a replication that
+satisfies, goes quiescent, or exhausts the budget leaves the batch and
+**stops consuming RNG draws** — its stream state afterwards equals a solo
+run's, which is what makes mixed-length batches replayable.
+
+Kernel coverage
+---------------
+
+Batched kernels exist for :class:`~repro.core.protocols.QoSSamplingProtocol`
+(without ``resample_on_self``) under the constant, slack-proportional and
+adaptive-backoff rate rules, with synchronous and alpha schedules, complete
+or restricted access maps, and any latency profile.  Everything else —
+other protocol families, custom rates, partition/staggered schedules,
+per-rep instance seeding — transparently falls back to the scalar engine
+via :func:`~repro.sim.parallel.replicate`'s backend selection; see
+:func:`batch_support` for the reason a given spec is not batchable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.instance import Instance
+from ..core.protocols.rates import (
+    AdaptiveBackoffRate,
+    ConstantRate,
+    SlackProportionalRate,
+)
+from ..core.protocols.sampling import QoSSamplingProtocol
+from ..core.state import State
+from .engine import RunResult
+from .rng import seed_from_key
+from .schedule import AlphaSchedule, Schedule, SynchronousSchedule
+
+__all__ = [
+    "BatchRunResult",
+    "run_batch",
+    "batch_support",
+    "batch_supported",
+    "replicate_batched",
+]
+
+
+@dataclass
+class BatchRunResult:
+    """Stacked outcome of ``R`` lockstep replications of one configuration.
+
+    Per-rep arrays are indexed by replication; :meth:`decompose` lowers the
+    batch into the per-rep :class:`~repro.sim.engine.RunResult` summaries
+    the experiment layer (and the ``runs-cell/v1`` store) consume, so
+    downstream code never sees which backend produced a cell.
+    """
+
+    statuses: list[str]
+    rounds: np.ndarray
+    total_moves: np.ndarray
+    total_attempts: np.ndarray
+    total_messages: np.ndarray
+    n_satisfied: np.ndarray
+    satisfying_rounds: np.ndarray  # -1 encodes "never satisfied"
+    n_users: int
+    n_resources: int
+    protocol: dict
+    schedule: dict
+    seeds: list[int | None]
+    final_assignment: np.ndarray = field(repr=False)
+
+    @property
+    def n_reps(self) -> int:
+        return len(self.statuses)
+
+    def decompose(self) -> list[RunResult]:
+        """Per-rep :class:`RunResult` summaries, in replication order."""
+        out = []
+        for i in range(self.n_reps):
+            sr = int(self.satisfying_rounds[i])
+            out.append(
+                RunResult(
+                    status=self.statuses[i],
+                    rounds=int(self.rounds[i]),
+                    total_moves=int(self.total_moves[i]),
+                    total_attempts=int(self.total_attempts[i]),
+                    total_messages=int(self.total_messages[i]),
+                    n_satisfied=int(self.n_satisfied[i]),
+                    n_users=self.n_users,
+                    n_resources=self.n_resources,
+                    satisfying_round=None if sr < 0 else sr,
+                    last_event_round=None,
+                    protocol=self.protocol,
+                    schedule=self.schedule,
+                    seed=self.seeds[i],
+                )
+            )
+        return out
+
+
+def _kernel_support(protocol, schedule) -> str | None:
+    """Why this protocol/schedule pair has no batched kernel (None = it has)."""
+    if type(protocol) is not QoSSamplingProtocol:
+        return f"protocol {getattr(protocol, 'name', protocol)!r} has no batched kernel"
+    if protocol.resample_on_self:
+        return "resample_on_self makes the per-round draw count data-dependent"
+    if type(protocol.rate) not in (ConstantRate, SlackProportionalRate, AdaptiveBackoffRate):
+        return f"rate {protocol.rate.name!r} has no batched kernel"
+    if type(schedule) not in (SynchronousSchedule, AlphaSchedule):
+        return f"schedule {schedule.name!r} has no batched kernel"
+    return None
+
+
+def batch_support(spec) -> str | None:
+    """Why ``spec`` cannot run on the batched engine — ``None`` if it can.
+
+    The decision is a pure function of the spec (no instance is built), so
+    backend auto-selection is deterministic across processes and resumes.
+    """
+    if spec.initial not in ("random", "pile"):
+        return f"initial={spec.initial!r} (batched engine supports 'random'/'pile')"
+    if spec.instance_seed_key != "fixed":
+        return "per-rep instance seeding: each replication simulates a different instance"
+    if spec.protocol != "qos-sampling":
+        return f"protocol {spec.protocol!r} has no batched kernel"
+    from ..registry import build_protocol, build_schedule  # lazy: registry is heavy
+
+    try:
+        protocol = build_protocol(spec.protocol, **dict(spec.protocol_kwargs))
+        schedule = build_schedule(spec.schedule, **dict(spec.schedule_kwargs))
+    except Exception as exc:
+        return f"spec does not build: {exc!r}"
+    return _kernel_support(protocol, schedule)
+
+
+def batch_supported(spec) -> bool:
+    """True when ``spec`` runs on the batched engine (see :func:`batch_support`)."""
+    return batch_support(spec) is None
+
+
+def _batch_initial(
+    instance: Instance, initial: str, rngs: list[np.random.Generator]
+) -> np.ndarray:
+    """Stacked ``(R, n)`` initial assignments, mirroring the scalar draws."""
+    n, m = instance.n_users, instance.n_resources
+    assignment = np.empty((len(rngs), n), dtype=np.int64)
+    if initial == "random":
+        if instance.access is None:
+            for i, rng in enumerate(rngs):
+                assignment[i] = rng.integers(0, m, size=n)
+        else:
+            users = np.arange(n, dtype=np.int64)
+            for i, rng in enumerate(rngs):
+                assignment[i] = instance.access.sample(users, rng)
+    elif initial == "pile":
+        assignment[:] = State.worst_case_pile(instance).assignment
+    else:
+        raise ValueError(
+            f"unknown initial state spec for the batched engine: {initial!r}"
+        )
+    return assignment
+
+
+def run_batch(
+    instance: Instance,
+    protocol: QoSSamplingProtocol,
+    *,
+    seeds: list[int | np.random.Generator],
+    schedule: Schedule | None = None,
+    max_rounds: int = 100_000,
+    initial: str = "random",
+) -> BatchRunResult:
+    """Run ``len(seeds)`` replications of one configuration lockstep.
+
+    ``seeds`` are integer seeds (each becomes an independent
+    ``numpy.random.default_rng(seed)`` stream, the scalar path's mapping)
+    or pre-built generators (exact-replay tests pass these to compare
+    streams against the scalar engine).
+    Raises :class:`ValueError` for protocol/schedule pairs without a
+    batched kernel — callers that want graceful degradation go through
+    :func:`~repro.sim.parallel.replicate`, which falls back to the scalar
+    path instead.
+    """
+    if max_rounds < 0:
+        raise ValueError("max_rounds must be non-negative")
+    if not seeds:
+        raise ValueError("seeds must be non-empty")
+    schedule = schedule if schedule is not None else SynchronousSchedule()
+    reason = _kernel_support(protocol, schedule)
+    if reason is not None:
+        raise ValueError(f"no batched kernel: {reason}")
+
+    rngs = [
+        s if isinstance(s, np.random.Generator) else np.random.default_rng(s)
+        for s in seeds
+    ]
+    seed_values: list[int | None] = [s if isinstance(s, int) else None for s in seeds]
+    R, n, m = len(rngs), instance.n_users, instance.n_resources
+    thresholds = instance.thresholds
+    weights = instance.weights
+    profile = instance.latencies
+    access = instance.access
+    rate = protocol.rate
+    phases = int(getattr(protocol, "phases", 1))
+    alpha_draws = isinstance(schedule, AlphaSchedule) and schedule.alpha < 1.0
+    alpha = schedule.alpha if isinstance(schedule, AlphaSchedule) else 1.0
+    backoff = type(rate) is AdaptiveBackoffRate
+
+    assignment = _batch_initial(instance, initial, rngs)
+
+    # Live-batch state: these arrays hold only still-running replications
+    # and are compacted whenever one dies, so steady-state rounds never
+    # gather/scatter the full batch.  ``rows`` maps live positions back to
+    # replication ids; ``assignment`` is refreshed on death.  ``asgF``
+    # carries each live row's flat offset (position * m) baked into the
+    # values, so every per-mover gather/scatter is one flat ``take``/put.
+    row_off = np.arange(R, dtype=np.int64) * m
+    rows = np.arange(R, dtype=np.int64)
+    live_rngs = list(rngs)
+    asgF = assignment + row_off[:, None]
+    ld = np.empty((R, m), dtype=np.float64)
+    for i in range(R):  # per-row bincount: same bucket summation order as State
+        ld[i] = np.bincount(assignment[i], weights=weights, minlength=m)
+
+    # The scalar engine's protocol.reset/schedule.reset consume no RNG for
+    # the supported kernels; the only per-run rate state is the backoff
+    # probability vector, kept stacked here.
+    P = np.full((R, n), rate.p0) if backoff else None
+
+    statuses = ["max_rounds"] * R
+    rounds = np.zeros(R, dtype=np.int64)
+    rounds_executed = np.zeros(R, dtype=np.int64)
+    total_moves = np.zeros(R, dtype=np.int64)
+    total_attempts = np.zeros(R, dtype=np.int64)
+    total_messages = np.zeros(R, dtype=np.int64)
+    n_satisfied_final = np.zeros(R, dtype=np.int64)
+    satisfying_rounds = np.full(R, -1, dtype=np.int64)
+    quiescence_dirty = np.ones(R, dtype=bool)
+
+    affine = profile.is_affine
+    slopes, offsets = profile._slopes, profile._offsets
+    # Uniformity specializations: homogeneous thresholds/weights/latencies
+    # collapse per-mover gathers into scalar broadcasts.  Every branch they
+    # gate computes bit-identical values to the general path (1.0 * x + 0.0
+    # only ever feeds comparisons, where the zero sign cannot matter).
+    uthr = n > 0 and bool((thresholds == thresholds[0]).all())
+    q0 = float(thresholds[0]) if uthr else 0.0
+    uw = bool((weights == 1.0).all())
+    u_affine = (
+        affine
+        and m > 0
+        and bool((slopes == slopes[0]).all())
+        and bool((offsets == offsets[0]).all())
+    )
+    s0 = float(slopes[0]) if u_affine else 0.0
+    o0 = float(offsets[0]) if u_affine else 0.0
+    identity = u_affine and s0 == 1.0 and o0 == 0.0
+    # Row-independent per-user/per-resource lookups, tiled once so a flat
+    # position into the (A, n)/(A, m) live block indexes them directly.
+    wF = None if uw else np.tile(weights, R)
+    thrF = None if uthr else np.tile(thresholds, R)
+    slF = np.tile(slopes, R) if affine and not u_affine else None
+    offF = np.tile(offsets, R) if affine and not u_affine else None
+    capRF = None  # lazy per-resource capacity tile (slack rate + uniform q)
+    # Reused per-round scratch, sliced to the live count.
+    usr_buf = np.empty((R, n), dtype=np.float64)
+    unsat_buf = np.empty((R, n), dtype=bool)
+    act_buf = np.empty((R, n), dtype=bool) if alpha_draws else None
+
+    def res_latencies(ld: np.ndarray) -> np.ndarray:
+        if affine:
+            return slopes * ld + offsets
+        out = np.empty_like(ld)
+        for k in range(ld.shape[0]):  # grouped evaluation, one row at a time
+            out[k] = profile.evaluate(ld[k])
+        return out
+
+    def probe_latency(t_probe, tf_probe, hyp):
+        """``ell_t(hyp)`` per probe — only ever fed to comparisons."""
+        if identity:
+            return hyp
+        if u_affine:
+            return s0 * hyp + o0
+        if affine:
+            return slF.take(tf_probe) * hyp + offF.take(tf_probe)
+        return profile.evaluate_at(t_probe, hyp)
+
+    for round_index in range(max_rounds + 1):
+        A = rows.size
+        if A == 0:
+            break
+        res_lat = res_latencies(ld)
+        if uthr:
+            # Uniform threshold: mark bad *resources* once, then one bool
+            # gather — 1/8th the bandwidth of the float gather + compare.
+            res_bad = res_lat > q0
+            unsat = np.take(res_bad.reshape(-1), asgF, out=unsat_buf[:A])
+        else:
+            usr_lat = np.take(res_lat.reshape(-1), asgF, out=usr_buf[:A])
+            unsat = np.greater(usr_lat, thresholds, out=unsat_buf[:A])
+        n_unsat = np.count_nonzero(unsat, axis=1)
+
+        done = n_unsat == 0
+        if done.any():
+            dead = rows[done]
+            for r in dead:
+                statuses[r] = "satisfying"
+            satisfying_rounds[dead] = round_index
+            rounds[dead] = round_index
+            n_satisfied_final[dead] = n
+            assignment[dead] = asgF[done] - row_off[:A][done][:, None]
+            keep = ~done
+            kept_off = row_off[:A][keep]
+            rows, ld, n_unsat = rows[keep], ld[keep], n_unsat[keep]
+            unsat = unsat[keep]  # copies out of the scratch buffer
+            asgF = asgF[keep]
+            A = rows.size
+            asgF -= (kept_off - row_off[:A])[:, None]  # re-base flat offsets
+            if backoff:
+                P = P[keep]
+            live_rngs = [g for g, kp in zip(live_rngs, keep) if kp]
+            if A == 0:
+                break
+        if round_index == max_rounds:
+            rounds[rows] = rounds_executed[rows]
+            n_satisfied_final[rows] = n - n_unsat
+            assignment[rows] = asgF - row_off[:A][:, None]
+            break
+
+        # -- per-rep RNG draws, in each stream's scalar order ----------------
+        # Streams are independent, so interleaving *across* replications is
+        # free; what the parity contract fixes is the order *within* each
+        # stream — alpha mask, then targets, then uniforms — preserved here.
+        if alpha_draws:
+            act = act_buf[:A]
+            draws = usr_buf[:A]  # scratch rows; usr_lat is not read again
+            for k in range(A):
+                live_rngs[k].random(out=draws[k])
+            np.less(draws, alpha, out=act)
+            act &= unsat
+            counts = np.count_nonzero(act, axis=1)
+            movers_src = act
+        else:
+            counts = n_unsat
+            movers_src = unsat
+        rounds_executed[rows] = round_index + 1
+        total_messages[rows] += counts * phases
+
+        pos = np.flatnonzero(movers_src)  # flat (row, user) mover positions
+        M = pos.size
+        if M:
+            bounds = np.zeros(A + 1, dtype=np.int64)
+            np.cumsum(counts, out=bounds[1:])
+            t = np.empty(M, dtype=np.int64)
+            unif = np.empty(M, dtype=np.float64)
+            u_all = pos % n if access is not None else None
+            for k in range(A):
+                s, e = bounds[k], bounds[k + 1]
+                if s == e:  # the scalar propose draws nothing for 0 movers
+                    continue
+                rng = live_rngs[k]
+                if access is None:
+                    t[s:e] = rng.integers(0, m, size=e - s)
+                else:
+                    t[s:e] = access.sample(u_all[s:e], rng)
+                unif[s:e] = rng.random(e - s)
+            rkm = np.repeat(row_off[:A], counts)  # per-mover row offset, m units
+
+            # -- one vectorized protocol step for the whole batch ------------
+            # The committed set is one AND of independent masks — commit,
+            # moving, would-satisfy — so when the commit probability needs no
+            # would-satisfy math (constant/backoff rates) it runs first and
+            # the latency math only touches its survivors.
+            if type(rate) is ConstantRate:
+                cand = np.flatnonzero(unif < rate.p)
+            elif backoff:
+                cand = np.flatnonzero(unif < P.reshape(-1).take(pos))
+            else:
+                cand = None  # slack-proportional: probabilities need the math
+
+            if cand is not None:
+                pos_c, t_c, rkm_c = pos.take(cand), t.take(cand), rkm.take(cand)
+                tf = rkm_c + t_c
+                of = asgF.reshape(-1).take(pos_c)
+                moving = tf != of
+                hyp = ld.reshape(-1).take(tf) + (
+                    np.where(moving, 1.0, 0.0) if uw else np.where(moving, wF.take(pos_c), 0.0)
+                )
+                lat = probe_latency(t_c, tf, hyp)
+                thr_c = q0 if uthr else thrF.take(pos_c)
+                idx = np.flatnonzero((lat <= thr_c) & moving)
+                fu_f, tf_f, of_f = pos_c.take(idx), tf.take(idx), of.take(idx)
+                t_f = t_c.take(idx)
+            else:
+                tf = rkm + t
+                of = asgF.reshape(-1).take(pos)
+                moving = tf != of
+                hyp = ld.reshape(-1).take(tf) + (
+                    np.where(moving, 1.0, 0.0) if uw else np.where(moving, wF.take(pos), 0.0)
+                )
+                lat = probe_latency(t, tf, hyp)
+                thr_all = q0 if uthr else thrF.take(pos)
+                oidx = np.flatnonzero((lat <= thr_all) & moving)
+                pos_o, tf_o, of_o, t_o = (
+                    pos.take(oidx), tf.take(oidx), of.take(oidx), t.take(oidx)
+                )
+                if uthr:
+                    if capRF is None:  # per-resource capacity at the one q
+                        cap_row = profile.capacities_at(
+                            np.arange(m, dtype=np.int64), np.full(m, q0)
+                        ).astype(np.float64)
+                        capRF = np.tile(cap_row, R)
+                    caps = capRF.take(tf_o)
+                else:
+                    caps = profile.capacities_at(
+                        t_o, thr_all.take(oidx)
+                    ).astype(np.float64)
+                free = np.maximum(0.0, caps - ld.reshape(-1).take(tf_o))
+                # contention: unsatisfied users per current resource, batchwide
+                if uthr and uw:
+                    # uniform q + unit weights: everyone on an over-threshold
+                    # resource is unsatisfied, and a mover's own resource is
+                    # over threshold — so the unsatisfied count there is just
+                    # its load count, already tracked in ``ld``.
+                    contention = np.maximum(ld.reshape(-1).take(of_o), 1.0)
+                else:
+                    # (without alpha masking the mover positions are exactly
+                    # the unsatisfied positions, so the scan is already done)
+                    unsat_pos = pos if not alpha_draws else np.flatnonzero(unsat)
+                    occ = np.bincount(
+                        asgF.reshape(-1).take(unsat_pos), minlength=A * m
+                    )
+                    contention = np.maximum(occ.take(of_o), 1)
+                probs = np.clip(free / contention, rate.floor, 1.0)
+                idx = np.flatnonzero(unif.take(oidx) < probs)
+                fu_f, tf_f, of_f = pos_o.take(idx), tf_o.take(idx), of_o.take(idx)
+                t_f = t_o.take(idx)
+
+            n_committed = np.bincount(fu_f // n, minlength=A)
+            if fu_f.size:
+                if uw:
+                    # unit weights: plain integer bincounts; the integer count
+                    # equals the serial sum of 1.0s exactly (counts < 2**53)
+                    sub = np.bincount(of_f, minlength=A * m)
+                    add = np.bincount(tf_f, minlength=A * m)
+                else:
+                    w_f = wF.take(fu_f)
+                    sub = np.bincount(of_f, weights=w_f, minlength=A * m)
+                    add = np.bincount(tf_f, weights=w_f, minlength=A * m)
+                ld_flat = ld.reshape(-1)
+                ld_flat -= sub  # (ld - sub) + add: the scalar update's IEEE order
+                ld_flat += add
+                asgF.reshape(-1)[fu_f] = tf_f
+            total_moves[rows] += n_committed
+            total_attempts[rows] += n_committed
+        else:
+            fu_f = tf_f = t_f = np.empty(0, dtype=np.int64)
+            n_committed = np.zeros(A, dtype=np.int64)
+
+        if backoff:
+            # Mirrors AdaptiveBackoffRate.observe: quiet users recover,
+            # movers keep p, movers *still* unsatisfied post-move back off
+            # (from the original p, not the recovered one).
+            recovered = np.minimum(P * rate.recover, 1.0)
+            if fu_f.size:
+                p_moved = P.reshape(-1).take(fu_f)
+                recovered.reshape(-1)[fu_f] = p_moved
+                post_lat = probe_latency(t_f, tf_f, ld.reshape(-1).take(tf_f))
+                collided = post_lat > (q0 if uthr else thrF.take(fu_f))
+                recovered.reshape(-1)[fu_f[collided]] = np.maximum(
+                    p_moved[collided] * rate.backoff, rate.floor
+                )
+            P = recovered
+
+        # -- per-rep quiescence (idle rounds only; same dirty-flag dance) ----
+        moved_rows = n_committed > 0
+        quiescence_dirty[rows[moved_rows]] = True
+        check = ~moved_rows & quiescence_dirty[rows]
+        if check.any():
+            dead_q = np.zeros(A, dtype=bool)
+            for k in np.nonzero(check)[0]:
+                r = rows[k]
+                verdict = protocol.is_quiescent(State(instance, asgF[k] - k * m))
+                if verdict:
+                    statuses[r] = "quiescent"
+                    rounds[r] = rounds_executed[r]
+                    n_satisfied_final[r] = n - int(n_unsat[k])
+                    assignment[r] = asgF[k] - k * m
+                    dead_q[k] = True
+                elif verdict is False:
+                    quiescence_dirty[r] = False
+            if dead_q.any():
+                keep = ~dead_q
+                kept_off = row_off[:A][keep]
+                rows, ld = rows[keep], ld[keep]
+                asgF = asgF[keep]
+                asgF -= (kept_off - row_off[: rows.size])[:, None]
+                if backoff:
+                    P = P[keep]
+                live_rngs = [g for g, kp in zip(live_rngs, keep) if kp]
+
+    return BatchRunResult(
+        statuses=statuses,
+        rounds=rounds,
+        total_moves=total_moves,
+        total_attempts=total_attempts,
+        total_messages=total_messages,
+        n_satisfied=n_satisfied_final,
+        satisfying_rounds=satisfying_rounds,
+        n_users=n,
+        n_resources=m,
+        protocol=protocol.describe(),
+        schedule=schedule.describe(),
+        seeds=seed_values,
+        final_assignment=assignment,
+    )
+
+
+def replicate_batched(
+    spec,
+    n_reps: int,
+    *,
+    base_seed: int = 0,
+    seed_key: str | None = None,
+) -> list[RunResult]:
+    """Batched analogue of :func:`~repro.sim.parallel.replicate`.
+
+    Seeds are derived exactly as the serial path derives them (same
+    ``seed_from_key`` chain including the per-rep ``"run"`` subkey) and
+    feed the same ``default_rng`` stream construction, so a batched cell
+    is not merely replayable rep-by-rep — its per-rep results are
+    bit-identical to what ``backend="serial"`` would produce.  Raises for
+    specs without a batched kernel; ``replicate`` handles the graceful
+    fallback.
+    """
+    from .parallel import _spec_components, spec_seed_key
+
+    if n_reps < 1:
+        raise ValueError("n_reps must be >= 1")
+    reason = batch_support(spec)
+    if reason is not None:
+        raise ValueError(f"spec has no batched kernel: {reason}")
+    key = seed_key if seed_key is not None else spec_seed_key(spec)
+    rep_seeds = [seed_from_key(base_seed, key, str(i)) for i in range(n_reps)]
+    # instance_seed_key == "fixed" (enforced above): the instance does not
+    # depend on the replication seed, so one build serves the whole batch.
+    instance, protocol, schedule = _spec_components(spec, rep_seeds[0])
+    batch = run_batch(
+        instance,
+        protocol,
+        seeds=[seed_from_key(s, "run") for s in rep_seeds],
+        schedule=schedule,
+        max_rounds=spec.max_rounds,
+        initial=spec.initial,
+    )
+    return batch.decompose()

@@ -272,7 +272,13 @@ def run(
 
     return RunResult(
         status=status,
-        rounds=rounds_executed if status != "satisfying" else (satisfying_round or 0),
+        rounds=(
+            rounds_executed
+            if status != "satisfying"
+            # Explicit None check: round 0 is a legitimate satisfying round
+            # and must not fall through a truthiness test.
+            else (satisfying_round if satisfying_round is not None else 0)
+        ),
         total_moves=total_moves,
         total_attempts=total_attempts,
         total_messages=total_messages,

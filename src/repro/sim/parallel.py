@@ -1,4 +1,4 @@
-"""Replicated runs, optionally fanned out across processes.
+"""Replicated runs, optionally fanned out across processes or batched.
 
 Convergence times of randomized dynamics are distributions; every figure
 row aggregates dozens of replications.  This module runs them:
@@ -10,15 +10,21 @@ row aggregates dozens of replications.  This module runs them:
 - :func:`run_spec` — execute one replication of a spec (module-level, so
   process pools can import it).
 - :func:`replicate` — run ``n_reps`` replications with independent spawned
-  seeds, serially or on a :class:`~concurrent.futures.ProcessPoolExecutor`.
+  seeds: on the vectorized batched engine (:mod:`repro.sim.batch`) when
+  the spec supports it, serially, or on a
+  :class:`~concurrent.futures.ProcessPoolExecutor`.
 
 Per the HPC guides, parallelism is process-based (the work is pure Python
 + NumPy and releases no GIL) and the fan-out unit is a whole replication —
-large enough that pickling overhead is negligible.
+large enough that pickling overhead is negligible.  The batched backend
+sidesteps the per-replication Python round loop entirely by stacking all
+replications into ``(R, n)`` arrays; see :mod:`repro.sim.batch` for its
+RNG stream contract and kernel coverage.
 """
 
 from __future__ import annotations
 
+import inspect
 import json
 import os
 from concurrent.futures import ProcessPoolExecutor
@@ -29,7 +35,39 @@ from ..obs import HUB as _OBS
 from .engine import RunResult, run
 from .rng import seed_from_key
 
-__all__ = ["RunSpec", "run_spec", "replicate", "spec_seed_key"]
+__all__ = [
+    "RunSpec",
+    "run_spec",
+    "replicate",
+    "spec_seed_key",
+    "set_default_backend",
+]
+
+#: Backend used when ``replicate`` is called without an explicit one.
+#: ``"auto"`` picks the batched engine whenever the spec supports it.
+_DEFAULT_BACKEND = "auto"
+
+_BACKENDS = ("auto", "batched", "serial")
+
+#: Does GENERATORS[name] accept an ``rng`` kwarg?  The signature probe is
+#: pure reflection on a fixed registry, so it is cached per generator name
+#: instead of re-running once per replication.
+_GEN_ACCEPTS_RNG: dict[str, bool] = {}
+
+
+def set_default_backend(backend: str) -> str:
+    """Set the process-wide default ``replicate`` backend; returns the old one.
+
+    ``"auto"`` (the default) selects the batched engine for supported
+    specs, ``"batched"`` forces it where possible, ``"serial"`` always
+    uses the scalar engine (optionally fanned out over processes).
+    """
+    global _DEFAULT_BACKEND
+    if backend not in _BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; expected one of {_BACKENDS}")
+    previous = _DEFAULT_BACKEND
+    _DEFAULT_BACKEND = backend
+    return previous
 
 
 @dataclass(frozen=True)
@@ -68,12 +106,15 @@ class RunSpec:
         }
 
 
-def run_spec(spec: RunSpec, seed: int) -> RunResult:
-    """Execute one replication of ``spec`` with the given root seed."""
+def _spec_components(spec: RunSpec, seed: int):
+    """Build the (instance, protocol, schedule) triple a spec describes.
+
+    Shared by the scalar per-replication path (:func:`run_spec`) and the
+    batched path (:func:`repro.sim.batch.replicate_batched`), so both
+    backends simulate the *same* instance for a given spec and seed.
+    """
     # Imported here so worker processes initialise lazily and the module
     # import graph stays cycle-free (registry imports workloads/protocols).
-    import inspect
-
     from ..registry import GENERATORS, build_instance, build_protocol, build_schedule
 
     gen_kwargs = dict(spec.generator_kwargs)
@@ -84,8 +125,12 @@ def run_spec(spec: RunSpec, seed: int) -> RunResult:
         instance_seed = seed_from_key(
             0, "instance", spec.generator, str(sorted(gen_kwargs.items()))
         )
-    gen_fn = GENERATORS[spec.generator]
-    if "rng" in inspect.signature(gen_fn).parameters and "rng" not in gen_kwargs:
+    accepts_rng = _GEN_ACCEPTS_RNG.get(spec.generator)
+    if accepts_rng is None:
+        gen_fn = GENERATORS[spec.generator]
+        accepts_rng = "rng" in inspect.signature(gen_fn).parameters
+        _GEN_ACCEPTS_RNG[spec.generator] = accepts_rng
+    if accepts_rng and "rng" not in gen_kwargs:
         gen_kwargs["rng"] = instance_seed
     instance = build_instance(spec.generator, **gen_kwargs)
 
@@ -94,6 +139,12 @@ def run_spec(spec: RunSpec, seed: int) -> RunResult:
         protocol_kwargs["m"] = instance.n_resources
     protocol = build_protocol(spec.protocol, **protocol_kwargs)
     schedule = build_schedule(spec.schedule, **spec.schedule_kwargs)
+    return instance, protocol, schedule
+
+
+def run_spec(spec: RunSpec, seed: int) -> RunResult:
+    """Execute one replication of ``spec`` with the given root seed."""
+    instance, protocol, schedule = _spec_components(spec, seed)
     return run(
         instance,
         protocol,
@@ -129,34 +180,70 @@ def replicate(
     base_seed: int = 0,
     workers: int | None = 0,
     seed_key: str | None = None,
+    backend: str | None = None,
 ) -> list[RunResult]:
     """Run ``n_reps`` independent replications of ``spec``.
 
-    ``workers=0`` (default) runs serially — the right choice inside tests
-    and small benches; ``workers=None`` picks ``min(cpus - 1, 8)``;
-    any other value sets the pool size explicitly.
+    ``backend`` selects the execution engine: ``"auto"`` (the default, via
+    :func:`set_default_backend`) runs supported specs on the vectorized
+    batched engine when there is more than one replication; ``"batched"``
+    forces the batched engine wherever the spec supports it (falling back
+    to the scalar path otherwise); ``"serial"`` always uses the scalar
+    engine.  On the scalar path, ``workers=0`` (default) runs serially —
+    the right choice inside tests and small benches; ``workers=None``
+    picks ``min(cpus - 1, 8)``; any other value sets the pool size
+    explicitly.  ``workers`` is ignored by the batched engine (one process
+    does the whole batch).
 
     Seeds are derived from ``base_seed`` plus :func:`spec_seed_key`, so
     every distinct configuration gets its own stream.  Pass an explicit
     ``seed_key`` to opt in to **common random numbers**: cells sharing the
     same ``seed_key`` and ``base_seed`` see identical seed streams, the
-    right design for paired protocol comparisons on one workload.
+    right design for paired protocol comparisons on one workload.  Seed
+    derivation *and* stream construction are backend-independent (both
+    paths run ``default_rng`` on the same derived integers), so per-rep
+    results are bit-identical across backends — which is why the backend
+    is not part of a cell's identity in the run store.
     """
     if n_reps < 1:
         raise ValueError("n_reps must be >= 1")
+    backend = backend if backend is not None else _DEFAULT_BACKEND
+    if backend not in _BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; expected one of {_BACKENDS}")
+
+    batched = False
+    if backend == "batched" or (backend == "auto" and n_reps >= 2):
+        from .batch import batch_supported
+
+        batched = batch_supported(spec)
+
     key = seed_key if seed_key is not None else spec_seed_key(spec)
-    seeds = [seed_from_key(base_seed, key, str(i)) for i in range(n_reps)]
-    serial = workers == 0 or workers == 1 or n_reps == 1
-    # Telemetry: worker processes inherit a *disabled* hub, so the fanned-
-    # out path records the replicate-level span and counters only; serial
-    # replication additionally nests one engine.run span per rep.
     with _OBS.span("parallel.replicate"):
-        if serial:
-            results = [run_spec(spec, s) for s in seeds]
+        if batched:
+            from .batch import replicate_batched
+
+            serial = False
+            results = replicate_batched(
+                spec, n_reps, base_seed=base_seed, seed_key=key
+            )
         else:
-            pool_size = _default_workers() if workers is None else int(workers)
-            with ProcessPoolExecutor(max_workers=pool_size) as pool:
-                results = list(pool.map(run_spec, [spec] * n_reps, seeds))
+            seeds = [seed_from_key(base_seed, key, str(i)) for i in range(n_reps)]
+            serial = workers == 0 or workers == 1 or n_reps == 1
+            # Telemetry: worker processes inherit a *disabled* hub, so the
+            # fanned-out path records the replicate-level span and counters
+            # only; serial replication additionally nests one engine.run
+            # span per rep.
+            if serial:
+                results = [run_spec(spec, s) for s in seeds]
+            else:
+                pool_size = _default_workers() if workers is None else int(workers)
+                with ProcessPoolExecutor(max_workers=pool_size) as pool:
+                    # One explicit chunk per worker: the spec is pickled
+                    # once per chunk instead of once per replication.
+                    chunksize = max(1, n_reps // (pool_size * 4))
+                    results = list(
+                        pool.map(run_spec, [spec] * n_reps, seeds, chunksize=chunksize)
+                    )
     if _OBS.active:
         _OBS.count("parallel.replications", n_reps)
         _OBS.event(
@@ -167,6 +254,7 @@ def replicate(
                 "generator": spec.generator,
                 "n_reps": n_reps,
                 "serial": serial,
+                "backend": "batched" if batched else "serial",
                 "statuses": sorted({r.status for r in results}),
             },
         )

@@ -1,0 +1,300 @@
+"""Batched replication engine: bit-parity, fallbacks, termination, perf.
+
+The central contract (see ``repro.sim.batch``) is that each batched
+replication is **bit-identical** to a scalar run fed the same generator
+stream, and — because both backends derive the same per-rep seeds and
+build the same ``default_rng`` streams — that ``backend="serial"`` and
+``backend="batched"`` produce identical per-rep results.  The grid here
+is therefore stronger than a statistical match: it asserts equality
+field by field, plus one hardcoded snapshot pin so both engines drifting
+*together* is also caught.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.registry import build_instance, build_protocol, build_schedule
+from repro.sim.batch import (
+    batch_support,
+    batch_supported,
+    replicate_batched,
+    run_batch,
+)
+from repro.sim.engine import run
+from repro.sim.parallel import RunSpec, replicate, set_default_backend
+
+GENERATORS = [
+    ("uniform_slack", {"slack": 0.35}),
+    ("random_access", {"degree": 4, "slack": 0.5, "rng": 3}),
+    ("weighted_uniform", {"slack": 0.4, "weight_ratio": 4.0, "rng": 7}),
+]
+RATES = [
+    None,
+    {"name": "const", "p": 0.7},
+    {"name": "slack-proportional", "floor": 0.05},
+    {"name": "adaptive-backoff", "p0": 0.8, "backoff": 0.5, "recover": 1.25, "floor": 0.05},
+]
+SCHEDULES = [("synchronous", {}), ("alpha", {"alpha": 0.6})]
+
+N, M, MAX_ROUNDS = 80, 8, 250
+
+
+def spec(**over):
+    base = dict(
+        generator="uniform_slack",
+        generator_kwargs={"n": 96, "m": 8, "slack": 0.35},
+        protocol="qos-sampling",
+        initial="pile",
+        max_rounds=2000,
+        label="batch-test",
+    )
+    base.update(over)
+    return RunSpec(**base)
+
+
+def summary(r):
+    return (
+        r.status,
+        r.rounds,
+        r.total_moves,
+        r.total_attempts,
+        r.total_messages,
+        r.n_satisfied,
+        r.satisfying_round,
+        r.seed,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Differential grid: batched vs scalar on shared streams, bit for bit.
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("gen_name,gen_kwargs", GENERATORS)
+@pytest.mark.parametrize("rate", RATES, ids=lambda r: "default" if r is None else r["name"])
+@pytest.mark.parametrize("sched_name,sched_kwargs", SCHEDULES)
+@pytest.mark.parametrize("initial", ["random", "pile"])
+def test_bit_parity_vs_scalar(gen_name, gen_kwargs, rate, sched_name, sched_kwargs, initial):
+    """Same stream in, same trajectory out — every summary field and the
+    final assignment match the scalar engine exactly."""
+    instance = build_instance(gen_name, n=N, m=M, **gen_kwargs)
+    seeds = [21, 22]
+    batch = run_batch(
+        instance,
+        build_protocol("qos-sampling", rate=rate),
+        seeds=[np.random.default_rng(s) for s in seeds],
+        schedule=build_schedule(sched_name, **sched_kwargs),
+        max_rounds=MAX_ROUNDS,
+        initial=initial,
+    )
+    for i, s in enumerate(seeds):
+        ref = run(
+            instance,
+            build_protocol("qos-sampling", rate=rate),
+            seed=np.random.default_rng(s),
+            schedule=build_schedule(sched_name, **sched_kwargs),
+            max_rounds=MAX_ROUNDS,
+            initial=initial,
+            keep_state=True,
+        )
+        assert batch.statuses[i] == ref.status
+        assert int(batch.rounds[i]) == ref.rounds
+        assert int(batch.total_moves[i]) == ref.total_moves
+        assert int(batch.total_attempts[i]) == ref.total_attempts
+        assert int(batch.total_messages[i]) == ref.total_messages
+        assert int(batch.n_satisfied[i]) == ref.n_satisfied
+        sr = int(batch.satisfying_rounds[i])
+        assert (None if sr < 0 else sr) == ref.satisfying_round
+        assert np.array_equal(batch.final_assignment[i], ref.final_state.assignment)
+
+
+def test_backends_bit_identical_per_rep():
+    """replicate() gives the same per-rep results on either backend."""
+    for over in (
+        {},
+        {"protocol_kwargs": {"rate": {"name": "slack-proportional"}}},
+        {"schedule": "alpha", "schedule_kwargs": {"alpha": 0.5}, "initial": "random"},
+    ):
+        s = spec(**over)
+        serial = replicate(s, 8, base_seed=5, workers=0, backend="serial")
+        batched = replicate(s, 8, base_seed=5, backend="batched")
+        assert [summary(r) for r in serial] == [summary(r) for r in batched]
+
+
+def test_exact_equality_pin():
+    """Hardcoded snapshot: catches both engines drifting in lockstep."""
+    s = spec(
+        generator_kwargs={"n": 64, "m": 8, "slack": 0.35},
+        max_rounds=2000,
+        label="pin",
+    )
+    expected = [
+        ("satisfying", 3, 56, 111, 64, 3, 6852282906729047298),
+        ("satisfying", 3, 54, 122, 64, 3, 1883546537405217907),
+        ("satisfying", 3, 51, 123, 64, 3, 7955678236725011288),
+        ("satisfying", 3, 54, 117, 64, 3, 8917795225446092046),
+    ]
+    for backend in ("serial", "batched"):
+        got = [
+            (r.status, r.rounds, r.total_moves, r.total_messages, r.n_satisfied,
+             r.satisfying_round, r.seed)
+            for r in replicate(s, 4, base_seed=2026, backend=backend)
+        ]
+        assert got == expected, backend
+
+
+# ---------------------------------------------------------------------------
+# Per-rep termination: dead replications stop consuming their streams.
+# ---------------------------------------------------------------------------
+
+
+def test_alive_mask_stops_stream_consumption():
+    """Reps that finish early leave the batch with exactly a solo run's
+    stream state, even while slower reps keep drawing."""
+    instance = build_instance("uniform_slack", n=N, m=M, slack=0.3)
+    protocol = build_protocol("qos-sampling")
+    seeds = [101, 102, 103, 104, 105]
+    gens = [np.random.default_rng(s) for s in seeds]
+    batch = run_batch(
+        instance, protocol, seeds=gens, max_rounds=MAX_ROUNDS, initial="random"
+    )
+    assert len(set(int(r) for r in batch.rounds)) > 1  # mixed-length batch
+    for s, g in zip(seeds, gens):
+        solo = np.random.default_rng(s)
+        run(
+            instance,
+            build_protocol("qos-sampling"),
+            seed=solo,
+            max_rounds=MAX_ROUNDS,
+            initial="random",
+        )
+        assert g.bit_generator.state == solo.bit_generator.state
+
+
+# ---------------------------------------------------------------------------
+# Support matrix and graceful fallback.
+# ---------------------------------------------------------------------------
+
+
+def test_batch_support_reasons():
+    assert batch_support(spec()) is None
+    assert batch_supported(spec())
+    cases = {
+        "protocol": spec(protocol="permit"),
+        "schedule": spec(schedule="partition", schedule_kwargs={"k": 2}),
+        "instance": spec(instance_seed_key="per-rep"),
+        "resample": spec(protocol_kwargs={"resample_on_self": True}),
+        "initial": spec(initial="spread"),
+    }
+    for label, s in cases.items():
+        reason = batch_support(s)
+        assert reason is not None and isinstance(reason, str), label
+        assert not batch_supported(s), label
+
+
+def test_unsupported_spec_falls_back_to_serial():
+    s = spec(schedule="partition", schedule_kwargs={"k": 2})
+    via_batched = replicate(s, 4, base_seed=3, backend="batched")
+    via_serial = replicate(s, 4, base_seed=3, workers=0, backend="serial")
+    assert [summary(r) for r in via_batched] == [summary(r) for r in via_serial]
+
+
+def test_run_batch_rejects_unsupported_protocol():
+    instance = build_instance("uniform_slack", n=32, m=4, slack=0.4)
+    with pytest.raises(ValueError, match="no batched kernel"):
+        run_batch(instance, build_protocol("permit"), seeds=[1, 2])
+
+
+def test_run_batch_validation():
+    instance = build_instance("uniform_slack", n=32, m=4, slack=0.4)
+    protocol = build_protocol("qos-sampling")
+    with pytest.raises(ValueError):
+        run_batch(instance, protocol, seeds=[])
+    with pytest.raises(ValueError):
+        run_batch(instance, protocol, seeds=[1], max_rounds=-1)
+    with pytest.raises(ValueError):
+        replicate_batched(spec(), 0)
+    with pytest.raises(ValueError, match="no batched kernel"):
+        replicate_batched(spec(protocol="permit"), 2)
+
+
+def test_single_rep_batched_matches_serial():
+    # backend="batched" honors R=1; "auto" routes R=1 to the scalar path.
+    s = spec()
+    one_serial = replicate(s, 1, base_seed=9, workers=0, backend="serial")
+    one_batched = replicate(s, 1, base_seed=9, backend="batched")
+    one_auto = replicate(s, 1, base_seed=9, backend="auto")
+    assert summary(one_serial[0]) == summary(one_batched[0]) == summary(one_auto[0])
+
+
+def test_set_default_backend_roundtrip():
+    previous = set_default_backend("serial")
+    try:
+        assert set_default_backend("auto") == "serial"
+        with pytest.raises(ValueError, match="unknown backend"):
+            set_default_backend("gpu")
+    finally:
+        set_default_backend(previous)
+
+
+# ---------------------------------------------------------------------------
+# Decomposition.
+# ---------------------------------------------------------------------------
+
+
+def test_decompose_fields():
+    batch = replicate_batched(spec(max_rounds=3), 5, base_seed=11)
+    assert len(batch) == 5
+    for r in batch:
+        assert r.n_users == 96 and r.n_resources == 8
+        assert isinstance(r.seed, int)
+        assert r.protocol["name"].startswith("qos-sampling")
+        if r.status == "max_rounds":
+            assert r.rounds == 3 and r.satisfying_round is None
+        elif r.status == "satisfying":
+            assert r.satisfying_round == r.rounds
+    assert len({r.seed for r in batch}) == 5
+
+
+def test_max_rounds_zero_round_satisfaction():
+    # A trivially feasible instance satisfies at round 0 on both engines.
+    s = spec(generator_kwargs={"n": 4, "m": 8, "slack": 0.9}, max_rounds=0, initial="random")
+    for backend in ("serial", "batched"):
+        for r in replicate(s, 3, base_seed=1, backend=backend):
+            assert r.status == "satisfying"
+            assert r.rounds == 0 and r.satisfying_round == 0
+
+
+# ---------------------------------------------------------------------------
+# Throughput (stress: excluded from the blocking tier-1 job).
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.stress
+def test_batched_throughput_3x_on_smoke_workload():
+    """The documented claim: >=3x user-round throughput at n=2000, R=32."""
+    s = spec(
+        generator_kwargs={"n": 2000, "m": 64, "slack": 0.4},
+        max_rounds=64,
+        label="stress-batch",
+    )
+    reps = 32
+    replicate(s, reps, base_seed=0, workers=0, backend="serial")  # warm-up
+    replicate(s, reps, base_seed=0, backend="batched")
+    serial_best = batched_best = float("inf")
+    for _ in range(5):  # interleaved best-of: machine drift hits both legs
+        t0 = time.perf_counter()
+        serial_res = replicate(s, reps, base_seed=0, workers=0, backend="serial")
+        serial_best = min(serial_best, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        batched_res = replicate(s, reps, base_seed=0, backend="batched")
+        batched_best = min(batched_best, time.perf_counter() - t0)
+    assert [summary(r) for r in serial_res] == [summary(r) for r in batched_res]
+    rounds = sum(r.rounds for r in serial_res)
+    serial_urps = rounds * 2000 / serial_best
+    batched_urps = rounds * 2000 / batched_best
+    assert batched_urps >= 3.0 * serial_urps, (
+        f"batched {batched_urps:,.0f} vs serial {serial_urps:,.0f} user-rounds/s"
+    )

@@ -65,6 +65,17 @@ def test_max_rounds_zero(small_uniform):
     assert result.rounds == 0
 
 
+def test_round_zero_satisfaction_reports_round_zero():
+    # Regression: ``rounds`` fell through a truthiness test when the very
+    # first satisfaction check succeeded, conflating round 0 with "never".
+    inst = Instance.identical_machines([4.0] * 2, 4)
+    result = run(inst, QoSSamplingProtocol(), seed=3, initial="random")
+    assert result.status == "satisfying"
+    assert result.satisfying_round == 0
+    assert result.rounds == 0
+    assert result.converged
+
+
 def test_determinism_same_seed(small_uniform):
     a = run(small_uniform, QoSSamplingProtocol(), seed=77, initial="pile")
     b = run(small_uniform, QoSSamplingProtocol(), seed=77, initial="pile")

@@ -287,10 +287,19 @@ def test_replicate_instrumentation():
         max_rounds=500,
     )
     with HUB.enabled():
-        replicate(spec, 3, base_seed=0, workers=0)
+        replicate(spec, 3, base_seed=0, workers=0, backend="serial")
     assert HUB.counters["parallel.replications"] == 3
     assert HUB.counters["engine.runs"] == 3  # serial path nests engine spans
     assert HUB.span_stats["parallel.replicate"][0] == 1
+
+    # The batched engine is one vectorized call, not nested engine spans:
+    # replicate-level telemetry only, with the backend recorded on the event.
+    with HUB.enabled():
+        replicate(spec, 3, base_seed=0, backend="batched")
+    assert HUB.counters["parallel.replications"] == 3
+    assert "engine.runs" not in HUB.counters
+    events = [e for e in HUB.ring if e["type"] == "replicate"]
+    assert events and events[-1]["backend"] == "batched"
 
 
 # -- provenance ----------------------------------------------------------------
@@ -351,9 +360,20 @@ def test_frozen_bench_engine_schema(bench_payload):
     for f in PROVENANCE_FIELDS:
         assert f in payload["provenance"]
     kinds = {c["kind"] for c in payload["cells"]}
-    assert kinds == {"engine", "replicate", "query", "runs", "obs"}
+    assert kinds == {"engine", "replicate", "batched", "query", "runs", "obs"}
     engine = next(c for c in payload["cells"] if c["kind"] == "engine")
     assert set(engine) >= {"name", "seconds", "rounds", "rounds_per_sec", "status"}
+    batched = next(c for c in payload["cells"] if c["kind"] == "batched")
+    assert set(batched) >= {
+        "name",
+        "serial_cell",
+        "reps",
+        "seconds",
+        "serial_seconds",
+        "user_rounds_per_sec",
+        "serial_user_rounds_per_sec",
+        "speedup_vs_serial",
+    }
     runs = next(c for c in payload["cells"] if c["kind"] == "runs")
     assert set(runs) >= {
         "name",
@@ -362,6 +382,8 @@ def test_frozen_bench_engine_schema(bench_payload):
         "seconds",
         "seconds_2w",
         "speedup_2w",
+        "batched_seconds",
+        "speedup_batched",
         "cached_seconds",
         "cached_cells",
     }
