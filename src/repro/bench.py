@@ -113,6 +113,30 @@ SCALES: dict[str, dict[str, int]] = {
     "full": {"n": 50_000, "m": 1_024, "max_rounds": 128, "repeats": 3, "reps": 8},
 }
 
+#: Pinned peak-tracemalloc budget for one million-user replication
+#: (instance build + full run).  Measured ~78 MB after the dtype/memory
+#: audit (narrow index arrays, chunked mover math); 96 MiB leaves
+#: headroom for allocator jitter while still catching any full-width
+#: int64 regression (pre-audit layouts blow well past it).  CI's
+#: guardrail fails at 1.2x this value.
+HUGE_MEMORY_CEILING_BYTES = 96 * 1024 * 1024
+
+#: Million-user single-replication cells (the ROADMAP's scale milestone).
+#: Run at ``--scale full`` or when selected explicitly via ``--only``;
+#: each carries its memory ceiling into the payload so trend tooling and
+#: the CI guardrail read the budget from the same place.
+HUGE_CELLS: list[dict[str, Any]] = [
+    {
+        "name": "engine/huge/sampling/sync",
+        "generator": "uniform_slack",
+        "generator_kwargs": {"n": 1_000_000, "m": 1_024, "slack": 0.25},
+        "protocol": "qos-sampling",
+        "schedule": "synchronous",
+        "max_rounds": 256,
+        "memory_ceiling_bytes": HUGE_MEMORY_CEILING_BYTES,
+    },
+]
+
 #: Replication count for the batched-engine cells (the documented ≥3x
 #: speedup claim is defined over this batch width on the smoke workload).
 BATCH_REPS = 32
@@ -176,6 +200,65 @@ def _time_engine_cell(
         "n_users": instance.n_users,
         "n_resources": instance.n_resources,
         **best,
+    }
+
+
+def _time_huge_cell(cell: dict[str, Any], *, seed: int = 0) -> dict[str, Any]:
+    """One million-user replication, timed and memory-audited.
+
+    The run is wrapped in ``tracemalloc`` (NumPy registers its data
+    allocations with it), so ``peak_traced_bytes`` is the cell-local
+    allocation peak the pinned ceiling is stated over.  ``peak_rss_bytes``
+    (``ru_maxrss``) rides along for context but is process-monotonic —
+    earlier cells in a full harness run inflate it — so the ceiling check
+    uses the traced number.  One timed repetition: at this size a single
+    run is seconds of work and best-of-N would double the harness cost
+    for a cell whose headline metric is memory, not nanoseconds.
+    """
+    import resource
+    import tracemalloc
+
+    from .registry import build_instance, build_protocol, build_schedule
+    from .sim.engine import run
+
+    tracemalloc.start()
+    try:
+        started = time.perf_counter()
+        instance = build_instance(cell["generator"], **dict(cell["generator_kwargs"]))
+        protocol = build_protocol(cell["protocol"], **dict(cell.get("protocol_kwargs", {})))
+        schedule = build_schedule(cell["schedule"], **dict(cell.get("schedule_kwargs", {})))
+        result = run(
+            instance,
+            protocol,
+            seed=seed,
+            schedule=schedule,
+            max_rounds=cell["max_rounds"],
+            initial="pile",
+        )
+        elapsed = time.perf_counter() - started
+        peak_traced = tracemalloc.get_traced_memory()[1]
+    finally:
+        tracemalloc.stop()
+    peak_rss = int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss) * 1024
+    ceiling = int(cell["memory_ceiling_bytes"])
+    rounds = max(1, result.rounds)
+    return {
+        "kind": "huge",
+        "name": cell["name"],
+        "generator": cell["generator"],
+        "protocol": cell["protocol"],
+        "schedule": cell["schedule"],
+        "n_users": instance.n_users,
+        "n_resources": instance.n_resources,
+        "seconds": elapsed,
+        "rounds": int(result.rounds),
+        "status": result.status,
+        "rounds_per_sec": rounds / elapsed,
+        "user_rounds_per_sec": rounds * instance.n_users / elapsed,
+        "peak_traced_bytes": int(peak_traced),
+        "peak_rss_bytes": peak_rss,
+        "memory_ceiling_bytes": ceiling,
+        "within_ceiling": bool(peak_traced <= ceiling),
     }
 
 
@@ -525,60 +608,93 @@ def _time_query_cell(*, n: int, m: int, calls: int = 200) -> dict[str, Any]:
     }
 
 
+def _cell_filter(only: str | None):
+    """Name predicate for ``--only``: glob, or prefix when glob-free."""
+    import fnmatch
+
+    if only is None:
+        return lambda name: True
+    pattern = only if any(ch in only for ch in "*?[") else only + "*"
+    return lambda name: fnmatch.fnmatch(name, pattern)
+
+
 def run_bench(
     *,
     scale: str = "smoke",
     out: str | Path = "BENCH_engine.json",
     repeats: int | None = None,
     seed: int = 0,
+    only: str | None = None,
 ) -> dict[str, Any]:
-    """Run every cell, write the JSON payload, return it."""
+    """Run every selected cell, write the JSON payload, return it.
+
+    ``only`` restricts the harness to cells whose name matches the given
+    glob (a bare string matches as a prefix) — e.g. ``only="engine/huge"``
+    runs just the million-user memory-audit cell, the mode CI's
+    memory-ceiling guardrail uses.  The ``engine/huge/*`` family is
+    otherwise included at ``--scale full`` only; the smoke harness stays
+    seconds-cheap.
+    """
     if scale not in SCALES:
         raise ValueError(f"unknown scale {scale!r}; known: {sorted(SCALES)}")
     params = SCALES[scale]
     n, m = params["n"], params["m"]
     n_repeats = params["repeats"] if repeats is None else int(repeats)
+    want = _cell_filter(only)
 
     cells: list[dict[str, Any]] = []
     for cell in ENGINE_CELLS:
+        if want(cell["name"]):
+            cells.append(
+                _time_engine_cell(
+                    cell,
+                    n=n,
+                    m=m,
+                    max_rounds=params["max_rounds"],
+                    repeats=n_repeats,
+                    seed=seed,
+                )
+            )
+    if want("replicate/sampling/serial"):
         cells.append(
-            _time_engine_cell(
-                cell,
+            _time_replicate_cell(
+                n=n, m=m, max_rounds=params["max_rounds"], reps=params["reps"]
+            )
+        )
+    for batched_name, serial_name in BATCHED_CELLS:
+        if want(batched_name):
+            cells.append(
+                _time_batched_cell(
+                    batched_name,
+                    next(c for c in ENGINE_CELLS if c["name"] == serial_name),
+                    n=n,
+                    m=m,
+                    max_rounds=params["max_rounds"],
+                    repeats=max(n_repeats, 5),
+                )
+            )
+    if want("query/satisfied-mask"):
+        cells.append(_time_query_cell(n=n, m=m))
+    if want("runs/overhead"):
+        cells.append(
+            _time_runs_cell(n=n, m=m, max_rounds=params["max_rounds"], reps=params["reps"])
+        )
+    if want("obs/overhead@unit/sampling-slackrate/sync"):
+        cells.append(
+            _time_obs_cell(
+                next(c for c in ENGINE_CELLS if c["name"] == "unit/sampling-slackrate/sync"),
                 n=n,
                 m=m,
-                max_rounds=params["max_rounds"],
-                repeats=n_repeats,
+                max_rounds=4 * params["max_rounds"],
+                repeats=max(n_repeats, 5),
                 seed=seed,
             )
         )
-    cells.append(
-        _time_replicate_cell(n=n, m=m, max_rounds=params["max_rounds"], reps=params["reps"])
-    )
-    for batched_name, serial_name in BATCHED_CELLS:
-        cells.append(
-            _time_batched_cell(
-                batched_name,
-                next(c for c in ENGINE_CELLS if c["name"] == serial_name),
-                n=n,
-                m=m,
-                max_rounds=params["max_rounds"],
-                repeats=max(n_repeats, 5),
-            )
-        )
-    cells.append(_time_query_cell(n=n, m=m))
-    cells.append(
-        _time_runs_cell(n=n, m=m, max_rounds=params["max_rounds"], reps=params["reps"])
-    )
-    cells.append(
-        _time_obs_cell(
-            next(c for c in ENGINE_CELLS if c["name"] == "unit/sampling-slackrate/sync"),
-            n=n,
-            m=m,
-            max_rounds=4 * params["max_rounds"],
-            repeats=max(n_repeats, 5),
-            seed=seed,
-        )
-    )
+    include_huge = only is not None or scale == "full"
+    if include_huge:
+        for cell in HUGE_CELLS:
+            if want(cell["name"]):
+                cells.append(_time_huge_cell(cell, seed=seed))
 
     from .obs import provenance_stamp
 
@@ -624,6 +740,16 @@ def render_bench(payload: dict[str, Any]) -> str:
                 f"{c['disabled_rounds_per_sec']:,.0f} off rounds/s; "
                 f"{c['overhead_pct_sampled']:+.2f}% @1/{c['sample_rate']}"
             )
+        elif c["kind"] == "huge":
+            metric = f"{c['user_rounds_per_sec']:,.0f} user-rounds/s"
+            mib = 1024 * 1024
+            verdict = "OK" if c["within_ceiling"] else "OVER"
+            detail = (
+                f"peak {c['peak_traced_bytes'] / mib:,.1f} MiB traced "
+                f"(ceiling {c['memory_ceiling_bytes'] / mib:,.0f} MiB, {verdict}), "
+                f"rss {c['peak_rss_bytes'] / mib:,.0f} MiB; "
+                f"{c['rounds']} rounds, {c['status']}"
+            )
         elif c["kind"] == "runs":
             metric = f"x{c['speedup_2w']:.2f} @2 workers"
             detail = (
@@ -660,9 +786,16 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--out", default="BENCH_engine.json")
     parser.add_argument("--repeats", type=int, default=None)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--only",
+        default=None,
+        help="run only cells whose name matches this glob/prefix "
+        "(e.g. 'engine/huge')",
+    )
     args = parser.parse_args(argv)
     payload = run_bench(
-        scale=args.scale, out=args.out, repeats=args.repeats, seed=args.seed
+        scale=args.scale, out=args.out, repeats=args.repeats, seed=args.seed,
+        only=args.only,
     )
     print(render_bench(payload))
     print(f"[wrote {args.out}]")

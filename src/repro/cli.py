@@ -383,7 +383,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         history.mkdir(parents=True, exist_ok=True)
         stamp = time.strftime("%Y%m%dT%H%M%SZ", time.gmtime())
         out = str(history / f"BENCH_engine-{stamp}.json")
-    payload = run_bench(scale=args.scale, out=out, repeats=args.repeats, seed=args.seed)
+    payload = run_bench(
+        scale=args.scale, out=out, repeats=args.repeats, seed=args.seed, only=args.only
+    )
     print(render_bench(payload))
     print(f"[wrote {out}]")
     return 0
@@ -578,6 +580,12 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_bench.add_argument("--repeats", type=int, default=None)
     p_bench.add_argument("--seed", type=int, default=0)
+    p_bench.add_argument(
+        "--only",
+        default=None,
+        help="run only cells whose name matches this glob/prefix "
+        "(e.g. 'engine/huge' for the million-user memory-audit cell)",
+    )
     p_bench.set_defaults(fn=_cmd_bench)
 
     p_trend = sub.add_parser(

@@ -20,50 +20,128 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from .latency import IdentityLatency, LatencyFunction, LatencyProfile
+from .memory import index_dtype, iter_chunks
 
 __all__ = ["AccessMap", "Instance"]
 
 
 class AccessMap:
-    """Which resources each user may occupy, in a flat ragged layout.
+    """Which resources each user may occupy, in a flat ragged CSR layout.
 
     The flat layout (``choices`` + ``offsets``) supports vectorized uniform
     sampling of an accessible resource for an arbitrary subset of users —
     the inner operation of every sampling protocol — without per-user
-    Python loops.
+    Python loops.  ``choices`` and the flat membership keys are stored in
+    the narrowest index dtype their value ranges allow (see
+    :mod:`repro.core.memory`); at n = 10^6+ this is the difference between
+    the access topology fitting in cache or not.
+
+    :meth:`from_csr` is the sparse-first constructor: generators that
+    already produce the flat layout (e.g. ``sparse_access``) hand it over
+    without materialising per-user Python lists.
     """
 
     __slots__ = ("n_users", "n_resources", "choices", "offsets", "_keys")
 
     def __init__(self, allowed: Sequence[Sequence[int]], n_resources: int):
-        self.n_users = len(allowed)
-        self.n_resources = int(n_resources)
+        n_users = len(allowed)
         counts = np.asarray([len(a) for a in allowed], dtype=np.int64)
         if np.any(counts == 0):
             bad = int(np.nonzero(counts == 0)[0][0])
             raise ValueError(f"user {bad} has no accessible resource")
-        self.offsets = np.zeros(self.n_users + 1, dtype=np.int64)
-        np.cumsum(counts, out=self.offsets[1:])
-        self.choices = np.empty(int(self.offsets[-1]), dtype=np.int64)
+        offsets = np.zeros(n_users + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        choices = np.empty(int(offsets[-1]), dtype=np.int64)
         for u, a in enumerate(allowed):
             arr = np.asarray(sorted(set(int(r) for r in a)), dtype=np.int64)
             if arr.size != len(a):
                 raise ValueError(f"user {u} has duplicate accessible resources")
             if arr.size and (arr[0] < 0 or arr[-1] >= n_resources):
                 raise ValueError(f"user {u} references an out-of-range resource")
-            self.choices[self.offsets[u] : self.offsets[u + 1]] = arr
+            choices[offsets[u] : offsets[u + 1]] = arr
+        self._finalize(choices, offsets, int(n_resources))
+
+    def _finalize(self, choices: np.ndarray, offsets: np.ndarray, n_resources: int):
+        """Adopt a validated CSR pair, narrowing storage dtypes.
+
+        ``choices`` must be int64, grouped by user and sorted (strictly
+        increasing) within each user's slice; callers have already
+        validated ranges and duplicates.
+        """
+        self.n_users = offsets.size - 1
+        self.n_resources = n_resources
+        self.offsets = offsets
+        self.choices = choices.astype(index_dtype(n_resources), copy=False)
         # Flat membership index: entries are grouped by user (ascending) and
         # sorted by resource within each user, so ``u * m + r`` over the
         # flat layout is globally sorted — one searchsorted answers an
-        # arbitrary batch of (user, resource) membership queries.
-        owners = np.repeat(np.arange(self.n_users, dtype=np.int64), counts)
-        self._keys = owners * self.n_resources + self.choices
+        # arbitrary batch of (user, resource) membership queries.  Built in
+        # user-chunks so the int64 ``owners`` scratch stays bounded.
+        keys = np.empty(choices.size, dtype=index_dtype(self.n_users * n_resources))
+        counts = np.diff(offsets)
+        for s, e in iter_chunks(self.n_users):
+            lo, hi = int(offsets[s]), int(offsets[e])
+            owners = np.repeat(np.arange(s, e, dtype=np.int64), counts[s:e])
+            owners *= n_resources
+            owners += choices[lo:hi]
+            keys[lo:hi] = owners
+        self._keys = keys
+
+    @classmethod
+    def from_csr(
+        cls, choices: np.ndarray, offsets: np.ndarray, n_resources: int
+    ) -> "AccessMap":
+        """Sparse-first constructor from a flat CSR layout.
+
+        ``choices[offsets[u]:offsets[u+1]]`` lists user ``u``'s accessible
+        resources, which must be strictly increasing (sorted, no
+        duplicates).  Validation is fully vectorized — no per-user Python
+        loop — so this is the constructor huge generated topologies use.
+        """
+        choices = np.ascontiguousarray(choices, dtype=np.int64)
+        offsets = np.ascontiguousarray(offsets, dtype=np.int64)
+        n_resources = int(n_resources)
+        if choices.ndim != 1 or offsets.ndim != 1 or offsets.size < 1:
+            raise ValueError("choices and offsets must be 1-D, offsets non-empty")
+        if offsets[0] != 0 or offsets[-1] != choices.size:
+            raise ValueError("offsets must start at 0 and end at choices.size")
+        counts = np.diff(offsets)
+        if np.any(counts < 0):
+            raise ValueError("offsets must be non-decreasing")
+        if np.any(counts == 0):
+            bad = int(np.nonzero(counts == 0)[0][0])
+            raise ValueError(f"user {bad} has no accessible resource")
+        if choices.size and (choices.min() < 0 or choices.max() >= n_resources):
+            oob = (choices < 0) | (choices >= n_resources)
+            pos = int(np.nonzero(oob)[0][0])
+            u = int(np.searchsorted(offsets, pos, side="right")) - 1
+            raise ValueError(f"user {u} references an out-of-range resource")
+        # Within-user monotonicity: diff positions crossing a slice
+        # boundary compare different users and are exempt.
+        if choices.size > 1:
+            step = np.diff(choices)
+            internal = np.ones(step.size, dtype=bool)
+            boundaries = offsets[1:-1]
+            internal[boundaries[boundaries < choices.size] - 1] = False
+            flat = np.nonzero(internal & (step <= 0))[0]
+            if flat.size:
+                pos = int(flat[0])
+                u = int(np.searchsorted(offsets, pos, side="right")) - 1
+                if step[pos] == 0:
+                    raise ValueError(f"user {u} has duplicate accessible resources")
+                raise ValueError(
+                    f"user {u} accessible resources must be sorted ascending"
+                )
+        obj = cls.__new__(cls)
+        obj._finalize(choices, offsets, n_resources)
+        return obj
 
     @classmethod
     def complete(cls, n_users: int, n_resources: int) -> "AccessMap":
         """Every user may use every resource."""
-        all_res = list(range(n_resources))
-        return cls([all_res] * n_users, n_resources)
+        choices = np.tile(np.arange(n_resources, dtype=np.int64), n_users)
+        offsets = np.arange(n_users + 1, dtype=np.int64) * n_resources
+        return cls.from_csr(choices, offsets, n_resources)
 
     @classmethod
     def from_matrix(cls, matrix: np.ndarray) -> "AccessMap":
@@ -71,8 +149,16 @@ class AccessMap:
         matrix = np.asarray(matrix, dtype=bool)
         if matrix.ndim != 2:
             raise ValueError("access matrix must be 2-D")
-        allowed = [np.nonzero(row)[0].tolist() for row in matrix]
-        return cls(allowed, matrix.shape[1])
+        counts = matrix.sum(axis=1)
+        if np.any(counts == 0):
+            bad = int(np.nonzero(counts == 0)[0][0])
+            raise ValueError(f"user {bad} has no accessible resource")
+        # nonzero walks rows in order, columns ascending within a row —
+        # exactly the CSR invariant from_csr validates.
+        _, cols = np.nonzero(matrix)
+        offsets = np.zeros(matrix.shape[0] + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        return cls.from_csr(cols, offsets, matrix.shape[1])
 
     def allowed(self, u: int) -> np.ndarray:
         """Resources accessible to user ``u`` (sorted)."""
@@ -99,7 +185,13 @@ class AccessMap:
         if users.size == 0:
             return out
         valid = (resources >= 0) & (resources < self.n_resources)
-        keys = users * self.n_resources + resources
+        valid &= (users >= 0) & (users < self.n_users)
+        keys64 = users * self.n_resources + resources
+        # Cast needles to the (possibly narrowed) key dtype so searchsorted
+        # never promote-copies the haystack.  Valid keys fit by
+        # construction; invalid entries are zeroed before the cast so it
+        # cannot wrap, and are masked out of the answer regardless.
+        keys = np.where(valid, keys64, 0).astype(self._keys.dtype, copy=False)
         pos = np.searchsorted(self._keys, keys)
         inb = valid & (pos < self._keys.size)
         out[inb] = self._keys[pos[inb]] == keys[inb]
@@ -107,9 +199,9 @@ class AccessMap:
 
     def contains_one(self, u: int, r: int) -> bool:
         """Scalar membership check (the ``move_user`` fast path)."""
-        if not (0 <= r < self.n_resources):
+        if not (0 <= u < self.n_users) or not (0 <= r < self.n_resources):
             return False
-        key = u * self.n_resources + r
+        key = self._keys.dtype.type(u * self.n_resources + r)
         pos = int(np.searchsorted(self._keys, key))
         return pos < self._keys.size and int(self._keys[pos]) == key
 

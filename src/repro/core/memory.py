@@ -1,0 +1,171 @@
+"""Memory/dtype contract: narrowed index dtypes and user-axis chunking.
+
+The million-user engine (ROADMAP: one replication at n = 10^6-10^7) is
+memory-bound before it is compute-bound: at n = 10^7 every ``int64``
+per-user array costs 80 MB and every ``float64`` round temporary another
+80 MB, so the difference between "streams through cache" and "thrashes
+RAM" is (a) how wide the index arrays are and (b) how many full-width
+temporaries a round materialises.  This module is the single source of
+truth for both knobs:
+
+Dtype narrowing
+---------------
+
+:func:`index_dtype` maps a known exclusive value bound to the narrowest
+signed integer dtype that provably holds it — ``int16`` below ``2**15``,
+``int32`` below ``2**31``, else ``int64``.  Integer values are exact in
+every width that holds them, so narrowing can never change a trajectory;
+the differential grids in ``tests/test_batch.py`` and
+``tests/test_memory.py`` pin this by running the same streams wide and
+narrow.  The contract for call sites:
+
+- ``State.assignment`` holds resource indices — bound ``n_resources``;
+- ``AccessMap.choices`` holds resource indices — bound ``n_resources``;
+- ``AccessMap`` flat membership keys hold ``u * m + r`` — bound
+  ``n_users * n_resources``;
+- the batched engine's flat assignment holds ``row * m + r`` — bound
+  ``R * n_resources``.
+
+Float arrays (loads, thresholds, weights, latencies) stay ``float64``:
+narrowing them would change IEEE arithmetic and break bit-exact replay.
+RNG draws are never narrowed either — NumPy's generators fix their own
+output dtypes and the stream contract pins the draw sequence.
+
+:func:`wide_dtypes` is the differential-testing hook (same shape as
+:func:`repro.core.state.caching_disabled`): inside the context every
+:func:`index_dtype` call answers ``int64``, the pre-audit behaviour, so
+tests can prove wide and narrow runs are bit-identical.
+
+User-axis chunking
+------------------
+
+:func:`iter_chunks` yields ``(start, stop)`` spans of at most
+:func:`user_chunk` elements.  Hot-path kernels that would otherwise build
+several full-width temporaries (the scalar ``State.would_satisfy``, the
+batched probe/commit math) loop over these spans, writing into
+preallocated outputs so per-round scratch is bounded by the chunk size
+regardless of ``n``.  Only *elementwise* work may be chunked — anything
+with cross-element reductions in float (weighted bincounts, sums) must
+stay whole, because re-associating float additions is not bit-exact.
+Within that rule, chunking is trajectory-neutral by construction and the
+differential grids would catch any violation.
+
+``REPRO_USER_CHUNK`` (environment) or :func:`set_user_chunk` override the
+default span of 2**18 elements (~2 MB of float64 scratch per temporary —
+comfortably inside L2/L3 on anything the benches run on).
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator
+
+import numpy as np
+
+__all__ = [
+    "index_dtype",
+    "wide_dtypes",
+    "user_chunk",
+    "set_user_chunk",
+    "iter_chunks",
+]
+
+
+class _DtypeSwitch:
+    """Process-global wide-dtype toggle (differential testing hook)."""
+
+    __slots__ = ("wide",)
+
+    def __init__(self):
+        self.wide = False
+
+
+_DTYPES = _DtypeSwitch()
+
+
+def index_dtype(bound: int) -> np.dtype:
+    """Narrowest signed integer dtype holding every value in ``[0, bound)``.
+
+    ``bound`` is *exclusive*: pass ``n_resources`` for resource indices,
+    ``n_users * n_resources`` for flat membership keys.  Inside
+    :func:`wide_dtypes` this always answers ``int64`` so differential
+    tests can reproduce the pre-audit layout.
+    """
+    if bound < 0:
+        raise ValueError("bound must be non-negative")
+    if _DTYPES.wide:
+        return np.dtype(np.int64)
+    if bound <= 2**15:
+        return np.dtype(np.int16)
+    if bound <= 2**31:
+        return np.dtype(np.int32)
+    return np.dtype(np.int64)
+
+
+@contextmanager
+def wide_dtypes():
+    """Temporarily answer ``int64`` from every :func:`index_dtype` call.
+
+    The reference behaviour the dtype-audit differential tests compare
+    against: a run constructed inside this context uses the pre-narrowing
+    array layout everywhere.
+    """
+    previous = _DTYPES.wide
+    _DTYPES.wide = True
+    try:
+        yield
+    finally:
+        _DTYPES.wide = previous
+
+
+#: Default user-axis chunk span (elements), overridable via environment.
+_DEFAULT_CHUNK = 1 << 18
+
+
+def _initial_chunk() -> int:
+    raw = os.environ.get("REPRO_USER_CHUNK", "")
+    try:
+        value = int(raw)
+    except ValueError:
+        return _DEFAULT_CHUNK
+    return value if value >= 1 else _DEFAULT_CHUNK
+
+
+class _ChunkConfig:
+    __slots__ = ("size",)
+
+    def __init__(self):
+        self.size = _initial_chunk()
+
+
+_CHUNK = _ChunkConfig()
+
+
+def user_chunk() -> int:
+    """Current user-axis chunk span (elements per kernel block)."""
+    return _CHUNK.size
+
+
+def set_user_chunk(size: int) -> int:
+    """Set the user-axis chunk span; returns the previous value.
+
+    Mostly a test/bench knob — tiny sizes force many blocks so chunked
+    kernels are exercised on small instances.
+    """
+    if size < 1:
+        raise ValueError("chunk size must be >= 1")
+    previous = _CHUNK.size
+    _CHUNK.size = int(size)
+    return previous
+
+
+def iter_chunks(total: int) -> Iterator[tuple[int, int]]:
+    """Yield ``(start, stop)`` spans of at most :func:`user_chunk` elements."""
+    span = _CHUNK.size
+    if total <= span:  # common case: one span, no loop arithmetic
+        if total > 0:
+            yield 0, total
+        return
+    for start in range(0, total, span):
+        yield start, min(start + span, total)

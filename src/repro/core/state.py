@@ -38,6 +38,7 @@ from typing import Callable
 import numpy as np
 
 from .instance import Instance
+from .memory import index_dtype, iter_chunks
 
 __all__ = ["State", "caching_disabled", "cache_stats", "reset_cache_stats", "CACHE_STATS"]
 
@@ -127,7 +128,10 @@ class State:
                     f"user {bad} assigned to inaccessible resource {int(assignment[bad])}"
                 )
         self.instance = instance
-        self.assignment = assignment.copy()
+        # Narrow only after the range checks above: casting first could
+        # wrap an out-of-range value back into range and hide the bug.
+        # ``astype`` copies, so the caller's array is never aliased.
+        self.assignment = assignment.astype(index_dtype(instance.n_resources))
         self.loads = np.bincount(
             assignment, weights=instance.weights, minlength=instance.n_resources
         )
@@ -270,14 +274,32 @@ class State:
         assumes it is the only arrival.  Concurrent arrivals can still
         overshoot — exactly the phenomenon migration-probability rules damp.
         Users probing their *own* current resource see its load unchanged.
+
+        The probe math is elementwise, so it streams over user-axis chunks
+        (:func:`repro.core.memory.iter_chunks`): scratch stays bounded by
+        the chunk span instead of six full-width temporaries at n = 10^6+.
+        Chunking elementwise work is bit-exact by construction.
         """
         users = np.asarray(users, dtype=np.int64)
         targets = np.asarray(targets, dtype=np.int64)
-        w = self.instance.weights[users]
-        staying = self.assignment[users] == targets
-        hypothetical = self.loads[targets] + np.where(staying, 0.0, w)
-        lat = self.instance.latencies.evaluate_at(targets, hypothetical)
-        return lat <= self.instance.thresholds[users]
+        inst = self.instance
+        if users.shape != targets.shape:
+            # Broadcasting callers (none in-library) get the one-shot path.
+            w = inst.weights[users]
+            staying = self.assignment[users] == targets
+            hypothetical = self.loads[targets] + np.where(staying, 0.0, w)
+            lat = inst.latencies.evaluate_at(targets, hypothetical)
+            return lat <= inst.thresholds[users]
+        out = np.empty(users.shape, dtype=bool)
+        u_flat, t_flat, o_flat = users.ravel(), targets.ravel(), out.ravel()
+        for s, e in iter_chunks(u_flat.size):
+            u = u_flat[s:e]
+            t = t_flat[s:e]
+            staying = self.assignment[u] == t
+            hypothetical = self.loads[t] + np.where(staying, 0.0, inst.weights[u])
+            lat = inst.latencies.evaluate_at(t, hypothetical)
+            np.less_equal(lat, inst.thresholds[u], out=o_flat[s:e])
+        return out
 
     # -- mutation ----------------------------------------------------------------
 

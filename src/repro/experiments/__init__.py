@@ -40,7 +40,16 @@ from .robustness import (
     f9_topology,
     f13_msg_loss,
 )
-from .scaling import f1_cells, f1_scaling_n, f2_cells, f2_slack, f3_cells, f3_scaling_m
+from .scaling import (
+    f1_cells,
+    f1_scaling_n,
+    f2_cells,
+    f2_slack,
+    f3_cells,
+    f3_scaling_m,
+    f14_cells,
+    f14_scaling_huge,
+)
 from .validation import t3_msgsim, t4_cells, t4_drift_and_oblivious, t5_cells, t5_tail
 
 __all__ = [
@@ -66,6 +75,7 @@ __all__ = [
     "f11_fluid_limit",
     "f12_churn",
     "f13_msg_loss",
+    "f14_scaling_huge",
     "t1_protocols",
     "t2_infeasible",
     "t3_msgsim",
@@ -248,6 +258,14 @@ EXPERIMENTS: dict[str, ExperimentDef] = {
         "round engine vs message-passing execution",
         ci={"n": 192, "m": 16, "n_reps": 5},
         full={"n": 1024, "m": 64, "n_reps": 20},
+    ),
+    "F14": ExperimentDef(
+        "F14",
+        f14_scaling_huge,
+        "huge-n scaling law: rounds vs n across 10^3..10^6 (one replication per decade point)",
+        ci={"ns": (1_000, 4_000, 16_000), "n_reps": 3},
+        full={"ns": (1_000, 10_000, 100_000, 1_000_000), "n_reps": 5},
+        cells=f14_cells,
     ),
     "T5": ExperimentDef(
         "T5",

@@ -21,6 +21,8 @@ __all__ = [
     "f2_cells",
     "f3_scaling_m",
     "f3_cells",
+    "f14_scaling_huge",
+    "f14_cells",
 ]
 
 
@@ -207,6 +209,79 @@ def f3_scaling_m(
     )
 
 
+def f14_scaling_huge(
+    ns: Sequence[int] = (1_000, 10_000, 100_000, 1_000_000),
+    *,
+    users_per_resource: int = 100,
+    slack: float = 0.25,
+    n_reps: int = 5,
+    workers: int | None = 0,
+    protocol: str = "qos-sampling",
+    max_rounds: int = 512,
+) -> ExperimentResult:
+    """Figure F14: the huge-n scaling law — rounds vs n across 10^3…10^6.
+
+    The strongest form of the paper's asymptotic claim: with constant
+    slack and a fixed load factor, rounds-to-satisfaction from the
+    adversarial pile start should stay logarithmic in ``n`` across three
+    decades, into the million-user regime the dtype/memory audit makes
+    simulable in one replication.  Runs through the sweep orchestrator
+    like every cell-based experiment (``f14_cells``), so a full-scale
+    sweep is resumable and its largest cells are cached individually.
+    ``max_rounds`` is a guardrail, not a horizon — pile starts satisfy in
+    tens of rounds at these sizes.
+    """
+    headers = ["n", "m", "sat%", "rounds (median)", "ci90-lo", "ci90-hi", "moves/user"]
+    rows = []
+    medians = []
+    for n in ns:
+        m = max(2, n // users_per_resource)
+        stats = convergence_stats(
+            cell(
+                generator="uniform_slack",
+                generator_kwargs={"n": n, "m": m, "slack": slack},
+                protocol=protocol,
+                max_rounds=max_rounds,
+                n_reps=n_reps,
+                workers=workers,
+                label=f"f14-n{n}",
+            )
+        )
+        medians.append(stats["rounds_median"])
+        rows.append(
+            [
+                n,
+                m,
+                100 * stats["satisfying_fraction"],
+                stats["rounds_median"],
+                stats["rounds_ci_low"],
+                stats["rounds_ci_high"],
+                stats["moves_mean"] / n,
+            ]
+        )
+    findings = []
+    verdict = None
+    if all(v is not None for v in medians) and len(medians) >= 3:
+        growth = classify_growth(list(ns), medians)
+        verdict = growth["verdict"]
+        findings.append(f"growth verdict: {verdict}; best fit {growth['best']}")
+        findings.append(
+            "fits: "
+            + "; ".join(f"{k}: {f}" for k, f in growth["fits"].items() if f is not None)
+        )
+    return ExperimentResult(
+        experiment_id="F14",
+        title=(
+            f"rounds vs n across decades (slack={slack}, "
+            f"n/m={users_per_resource}, {protocol}, pile start)"
+        ),
+        headers=headers,
+        rows=rows,
+        findings=findings,
+        extra={"medians": medians, "ns": list(ns), "verdict": verdict},
+    )
+
+
 def f1_cells(**params):
     """Cell decomposition of :func:`f1_scaling_n` (nothing simulates)."""
     return enumerate_cells(f1_scaling_n, **params)
@@ -220,3 +295,8 @@ def f2_cells(**params):
 def f3_cells(**params):
     """Cell decomposition of :func:`f3_scaling_m` (nothing simulates)."""
     return enumerate_cells(f3_scaling_m, **params)
+
+
+def f14_cells(**params):
+    """Cell decomposition of :func:`f14_scaling_huge` (nothing simulates)."""
+    return enumerate_cells(f14_scaling_huge, **params)

@@ -127,6 +127,7 @@ GENERATORS: dict[str, Callable[..., Instance]] = {
     "polynomial_farm": _generators.polynomial_farm,
     "weighted_uniform": _generators.weighted_uniform,
     "random_access": _generators.random_access,
+    "sparse_access": _generators.sparse_access,
 }
 
 

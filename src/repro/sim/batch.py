@@ -50,6 +50,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..core.instance import Instance
+from ..core.memory import index_dtype, iter_chunks
 from ..core.protocols.rates import (
     AdaptiveBackoffRate,
     ConstantRate,
@@ -57,7 +58,7 @@ from ..core.protocols.rates import (
 )
 from ..core.protocols.sampling import QoSSamplingProtocol
 from ..core.state import State
-from .engine import RunResult
+from .engine import RunResult, _seed_value
 from .rng import seed_from_key
 from .schedule import AlphaSchedule, Schedule, SynchronousSchedule
 
@@ -168,7 +169,7 @@ def _batch_initial(
 ) -> np.ndarray:
     """Stacked ``(R, n)`` initial assignments, mirroring the scalar draws."""
     n, m = instance.n_users, instance.n_resources
-    assignment = np.empty((len(rngs), n), dtype=np.int64)
+    assignment = np.empty((len(rngs), n), dtype=index_dtype(m))
     if initial == "random":
         if instance.access is None:
             for i, rng in enumerate(rngs):
@@ -219,7 +220,7 @@ def run_batch(
         s if isinstance(s, np.random.Generator) else np.random.default_rng(s)
         for s in seeds
     ]
-    seed_values: list[int | None] = [s if isinstance(s, int) else None for s in seeds]
+    seed_values: list[int | None] = [_seed_value(s) for s in seeds]
     R, n, m = len(rngs), instance.n_users, instance.n_resources
     thresholds = instance.thresholds
     weights = instance.weights
@@ -242,7 +243,10 @@ def run_batch(
     row_off = np.arange(R, dtype=np.int64) * m
     rows = np.arange(R, dtype=np.int64)
     live_rngs = list(rngs)
-    asgF = assignment + row_off[:, None]
+    # Flat values span [0, R*m); the dtype audit stores them in the
+    # narrowest width that holds that bound.
+    asgF = assignment.astype(index_dtype(R * m))
+    asgF += row_off[:, None].astype(asgF.dtype)
     ld = np.empty((R, m), dtype=np.float64)
     for i in range(R):  # per-row bincount: same bucket summation order as State
         ld[i] = np.bincount(assignment[i], weights=weights, minlength=m)
@@ -405,17 +409,38 @@ def run_batch(
 
             if cand is not None:
                 pos_c, t_c, rkm_c = pos.take(cand), t.take(cand), rkm.take(cand)
-                tf = rkm_c + t_c
-                of = asgF.reshape(-1).take(pos_c)
-                moving = tf != of
-                hyp = ld.reshape(-1).take(tf) + (
-                    np.where(moving, 1.0, 0.0) if uw else np.where(moving, wF.take(pos_c), 0.0)
-                )
-                lat = probe_latency(t_c, tf, hyp)
-                thr_c = q0 if uthr else thrF.take(pos_c)
-                idx = np.flatnonzero((lat <= thr_c) & moving)
-                fu_f, tf_f, of_f = pos_c.take(idx), tf.take(idx), of.take(idx)
-                t_f = t_c.take(idx)
+                asg_flat = asgF.reshape(-1)
+                ldf = ld.reshape(-1)
+                # The probe math here is purely elementwise per mover, so it
+                # streams over chunks (bit-exact by construction) and only
+                # the surviving indices are kept full-width.  The slack
+                # branch below cannot chunk the same way: its contention
+                # bincount is a cross-mover reduction.
+                parts = []
+                for cs, ce in iter_chunks(pos_c.size):
+                    p_ch, t_ch = pos_c[cs:ce], t_c[cs:ce]
+                    tf_ch = rkm_c[cs:ce] + t_ch
+                    moving = tf_ch != asg_flat.take(p_ch)
+                    hyp = ldf.take(tf_ch) + (
+                        np.where(moving, 1.0, 0.0)
+                        if uw
+                        else np.where(moving, wF.take(p_ch), 0.0)
+                    )
+                    lat = probe_latency(t_ch, tf_ch, hyp)
+                    thr_c = q0 if uthr else thrF.take(p_ch)
+                    part = np.flatnonzero((lat <= thr_c) & moving)
+                    if cs:
+                        part += cs
+                    parts.append(part)
+                if not parts:
+                    idx = np.empty(0, dtype=np.int64)
+                elif len(parts) == 1:
+                    idx = parts[0]
+                else:
+                    idx = np.concatenate(parts)
+                fu_f, t_f = pos_c.take(idx), t_c.take(idx)
+                tf_f = rkm_c.take(idx) + t_f
+                of_f = asg_flat.take(fu_f)
             else:
                 tf = rkm + t
                 of = asgF.reshape(-1).take(pos)

@@ -30,6 +30,7 @@ simulator (:mod:`repro.msgsim`) provides the latter.
 
 from __future__ import annotations
 
+import operator
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
@@ -97,10 +98,30 @@ class RunResult:
             "n_resources": self.n_resources,
             "satisfying_round": self.satisfying_round,
             "satisfied_fraction": self.satisfied_fraction,
+            "last_event_round": self.last_event_round,
+            "recovery_rounds": self.recovery_rounds,
             "seed": self.seed,
             "protocol": self.protocol,
             "schedule": self.schedule,
         }
+
+
+def _seed_value(seed) -> int | None:
+    """The integer recorded in results for exact replay, or ``None``.
+
+    ``isinstance(seed, int)`` alone silently dropped NumPy integer seeds
+    (``np.int64`` is not ``int``), so sweep-generated runs recorded
+    ``seed=None`` and could not be replayed.  ``operator.index`` accepts
+    every integral type — Python ints, NumPy scalars, anything with
+    ``__index__`` — and is exactly the coercion ``default_rng`` applies,
+    so the recorded value rebuilds the identical stream.
+    """
+    if isinstance(seed, np.random.Generator):
+        return None
+    try:
+        return operator.index(seed)
+    except TypeError:
+        return None
 
 
 def _build_initial(
@@ -155,7 +176,7 @@ def run(
     if max_rounds < 0:
         raise ValueError("max_rounds must be non-negative")
     rng = make_rng(seed)
-    seed_value = seed if isinstance(seed, int) else None
+    seed_value = _seed_value(seed)
     schedule = schedule if schedule is not None else SynchronousSchedule()
 
     for e in events:

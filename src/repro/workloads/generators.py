@@ -37,6 +37,7 @@ __all__ = [
     "polynomial_farm",
     "weighted_uniform",
     "random_access",
+    "sparse_access",
 ]
 
 
@@ -334,4 +335,51 @@ def random_access(
         latencies=LatencyProfile([IdentityLatency()] * m),
         access=AccessMap(allowed, m),
         name=f"random-access(n={n},m={m},d={degree},slack={slack:g})",
+    )
+
+
+def sparse_access(
+    n: int,
+    m: int,
+    *,
+    degree: int = 4,
+    slack: float = 0.5,
+    rng: int | np.random.Generator | None = 0,
+) -> Instance:
+    """CSR-native sibling of :func:`random_access` for huge ``n``.
+
+    Same instance family — uniform threshold, each user restricted to
+    ``degree`` uniformly random distinct resources — but built without any
+    per-user Python loop: the topology is drawn as an ``(n, degree)``
+    block, rows with duplicate picks are re-drawn (vectorized rejection;
+    for ``degree << m`` a row is rejected with probability
+    ``O(degree^2 / m)``, so the expected number of passes is ~1), and the
+    flat layout goes straight into :meth:`AccessMap.from_csr`.  At
+    n = 10^6+ the list-of-lists path dominates generation time and memory;
+    this one is a handful of array ops.
+
+    Note the draws differ from ``random_access`` (block ``integers`` vs
+    per-user ``choice``), so the two generators produce *different*
+    instances for the same seed — this is a new family member, not a
+    drop-in replacement, which keeps ``random_access`` instances (and the
+    tests pinned to them) byte-stable.
+    """
+    if degree < 1 or degree > m:
+        raise ValueError("degree must be in [1, m]")
+    generator = make_rng(rng)
+    picks = np.sort(generator.integers(0, m, size=(n, degree)), axis=1)
+    if degree > 1:
+        bad = np.flatnonzero((np.diff(picks, axis=1) == 0).any(axis=1))
+        while bad.size:
+            redraw = np.sort(generator.integers(0, m, size=(bad.size, degree)), axis=1)
+            picks[bad] = redraw
+            bad = bad[np.flatnonzero((np.diff(redraw, axis=1) == 0).any(axis=1))]
+    offsets = np.arange(n + 1, dtype=np.int64) * degree
+    access = AccessMap.from_csr(picks.reshape(-1), offsets, m)
+    q = math.ceil(n / (m * (1.0 - slack)))
+    return Instance(
+        thresholds=np.full(n, float(q)),
+        latencies=LatencyProfile([IdentityLatency()] * m),
+        access=access,
+        name=f"sparse-access(n={n},m={m},d={degree},slack={slack:g})",
     )

@@ -298,3 +298,120 @@ def test_batched_throughput_3x_on_smoke_workload():
     assert batched_urps >= 3.0 * serial_urps, (
         f"batched {batched_urps:,.0f} vs serial {serial_urps:,.0f} user-rounds/s"
     )
+
+
+# ---------------------------------------------------------------------------
+# Degenerate edges: both backends agree where the round loop barely runs.
+# ---------------------------------------------------------------------------
+
+
+class TestDegenerateEdges:
+    """Backend parity at the boundaries: empty round budget, a single
+    resource (nowhere to move), and a start state that already satisfies."""
+
+    def test_max_rounds_zero_infeasible_parity(self):
+        # Pile start on a tight instance cannot satisfy at round 0; both
+        # backends must stop immediately with the same accounting.
+        s = spec(max_rounds=0, initial="pile")
+        serial = replicate(s, 3, base_seed=5, workers=0, backend="serial")
+        batched = replicate(s, 3, base_seed=5, backend="batched")
+        assert [summary(r) for r in serial] == [summary(r) for r in batched]
+        for r in serial:
+            assert r.status == "max_rounds" and r.rounds == 0
+            assert r.total_moves == 0 and r.total_attempts == 0
+
+    def test_single_resource_parity(self):
+        # m = 1: every sampled target is the current resource, so nothing
+        # ever moves.  Generous capacity -> satisfies at round 0; an
+        # overloaded single resource -> identical non-convergence.
+        generous = spec(
+            generator_kwargs={"n": 6, "m": 1, "slack": 0.5},
+            initial="random",
+            max_rounds=50,
+        )
+        for r_s, r_b in zip(
+            replicate(generous, 2, base_seed=9, workers=0, backend="serial"),
+            replicate(generous, 2, base_seed=9, backend="batched"),
+        ):
+            assert summary(r_s) == summary(r_b)
+            assert r_s.status == "satisfying" and r_s.rounds == 0
+
+        jammed = spec(
+            generator="overloaded",
+            generator_kwargs={"n": 8, "m": 1, "q": 2.0},
+            initial="pile",
+            max_rounds=25,
+        )
+        for r_s, r_b in zip(
+            replicate(jammed, 2, base_seed=9, workers=0, backend="serial"),
+            replicate(jammed, 2, base_seed=9, backend="batched"),
+        ):
+            assert summary(r_s) == summary(r_b)
+            assert r_s.status in ("max_rounds", "quiescent")
+            assert r_s.total_moves == 0
+
+    def test_all_satisfied_initial_with_budget_parity(self):
+        # Already-satisfying start with rounds to spare: both backends
+        # report round-0 satisfaction without consuming the budget.
+        s = spec(
+            generator_kwargs={"n": 4, "m": 8, "slack": 0.9},
+            initial="random",
+            max_rounds=100,
+        )
+        serial = replicate(s, 3, base_seed=2, workers=0, backend="serial")
+        batched = replicate(s, 3, base_seed=2, backend="batched")
+        assert [summary(r) for r in serial] == [summary(r) for r in batched]
+        for r in serial:
+            assert r.status == "satisfying"
+            assert r.rounds == 0 and r.satisfying_round == 0
+
+
+# ---------------------------------------------------------------------------
+# Dtype audit: wide (pre-audit int64) and narrow layouts are bit-identical.
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("gen_name,gen_kwargs", GENERATORS)
+@pytest.mark.parametrize("rate", RATES, ids=lambda r: "default" if r is None else r["name"])
+@pytest.mark.parametrize("sched_name,sched_kwargs", SCHEDULES)
+@pytest.mark.parametrize("initial", ["random", "pile"])
+def test_narrow_dtypes_bit_identical_to_wide(
+    gen_name, gen_kwargs, rate, sched_name, sched_kwargs, initial
+):
+    """The int16/int32 audit is invisible: the same stream through the
+    pre-audit all-int64 layout (``wide_dtypes``) and the narrowed layout
+    yields identical trajectories on both backends."""
+    from repro.core.memory import wide_dtypes
+
+    def legs(seed):
+        instance = build_instance(gen_name, n=N, m=M, **gen_kwargs)
+        ref = run(
+            instance,
+            build_protocol("qos-sampling", rate=rate),
+            seed=np.random.default_rng(seed),
+            schedule=build_schedule(sched_name, **sched_kwargs),
+            max_rounds=MAX_ROUNDS,
+            initial=initial,
+            keep_state=True,
+        )
+        batch = run_batch(
+            instance,
+            build_protocol("qos-sampling", rate=rate),
+            seeds=[np.random.default_rng(seed)],
+            schedule=build_schedule(sched_name, **sched_kwargs),
+            max_rounds=MAX_ROUNDS,
+            initial=initial,
+        )
+        return ref, batch
+
+    with wide_dtypes():
+        ref_w, batch_w = legs(33)
+    ref_n, batch_n = legs(33)
+
+    assert ref_w.summary() == ref_n.summary()
+    # array_equal compares values, not dtypes: int64 vs int16 layouts agree
+    assert np.array_equal(ref_w.final_state.assignment, ref_n.final_state.assignment)
+    assert batch_w.statuses == batch_n.statuses
+    assert np.array_equal(batch_w.rounds, batch_n.rounds)
+    assert np.array_equal(batch_w.total_moves, batch_n.total_moves)
+    assert np.array_equal(batch_w.final_assignment, batch_n.final_assignment)

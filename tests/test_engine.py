@@ -223,3 +223,78 @@ class TestEvents:
     def test_non_event_rejected(self, small_uniform):
         with pytest.raises(TypeError):
             run(small_uniform, QoSSamplingProtocol(), events=["not-an-event"])
+
+
+# ---------------------------------------------------------------------------
+# Summary schema and seed recording (result-fidelity contract).
+# ---------------------------------------------------------------------------
+
+
+SUMMARY_KEYS = frozenset(
+    {
+        "status",
+        "rounds",
+        "total_moves",
+        "total_attempts",
+        "total_messages",
+        "n_satisfied",
+        "n_users",
+        "n_resources",
+        "satisfying_round",
+        "satisfied_fraction",
+        "last_event_round",
+        "recovery_rounds",
+        "seed",
+        "protocol",
+        "schedule",
+    }
+)
+
+
+class TestSummarySchema:
+    def test_summary_schema_is_frozen(self, small_uniform):
+        """``summary()`` carries exactly these keys — consumers (bench
+        payloads, sweep rows, trace stamps) key off them by name, so a
+        silent drop is a result-fidelity bug, not a cosmetic one."""
+        result = run(small_uniform, QoSSamplingProtocol(), seed=5, initial="pile")
+        assert set(result.summary()) == SUMMARY_KEYS
+
+    def test_summary_event_fields_without_events(self, small_uniform):
+        result = run(small_uniform, QoSSamplingProtocol(), seed=5, initial="pile")
+        s = result.summary()
+        assert s["last_event_round"] is None
+        assert s["recovery_rounds"] is None
+
+    def test_summary_event_fields_with_events(self, small_uniform):
+        events = [UserArrival(2, np.asarray([8.0]))]
+        result = run(
+            small_uniform, QoSSamplingProtocol(), seed=4, initial="pile", events=events
+        )
+        s = result.summary()
+        assert s["last_event_round"] == 2
+        assert s["recovery_rounds"] == result.recovery_rounds
+        assert s["recovery_rounds"] is not None and s["recovery_rounds"] >= 0
+
+
+class TestSeedRecording:
+    def test_numpy_integer_seed_is_recorded(self, small_uniform):
+        # Regression: seeds that are numpy integers (the sweep layer hands
+        # these out) were recorded as None, breaking replay-from-summary.
+        result = run(small_uniform, QoSSamplingProtocol(), seed=np.int64(7), initial="pile")
+        assert result.seed == 7
+        assert isinstance(result.seed, int) and not isinstance(result.seed, bool)
+
+    def test_recorded_numpy_seed_replays(self, small_uniform):
+        a = run(small_uniform, QoSSamplingProtocol(), seed=np.uint32(19), initial="pile")
+        assert a.seed == 19
+        b = run(small_uniform, QoSSamplingProtocol(), seed=a.seed, initial="pile")
+        assert a.summary() == b.summary()
+
+    def test_generator_seed_still_records_none(self, small_uniform):
+        result = run(
+            small_uniform,
+            QoSSamplingProtocol(),
+            seed=np.random.default_rng(3),
+            initial="pile",
+        )
+        assert result.seed is None

@@ -35,6 +35,7 @@ MICRO = {
     "F11": dict(ns=(250, 1000, 4000), n_reps=3),
     "F12": dict(rhos=(0.6, 1.2), m=8, q=4, rounds=150, warmup=40, n_reps=2),
     "F13": dict(p_losses=(0.0, 0.2), n=48, m=6, n_reps=2, max_time=400.0),
+    "F14": dict(ns=(256, 1024, 4096), users_per_resource=32, n_reps=3),
     "T1": dict(n=256, m=16, n_reps=3, max_rounds=3_000),
     "T2": dict(overload_factors=(1.5,), m=8, q=4, n_reps=3),
     "T3": dict(n=96, m=8, n_reps=3),

@@ -57,6 +57,7 @@ def test_every_registered_generator_builds():
         "polynomial_farm": {"n": 16, "m": 4},
         "weighted_uniform": {"n": 16, "m": 4},
         "random_access": {"n": 16, "m": 4, "degree": 2},
+        "sparse_access": {"n": 16, "m": 4, "degree": 2},
     }
     assert set(small) == set(GENERATORS)
     for name, kwargs in small.items():
