@@ -20,7 +20,10 @@ This harness times:
 - **obs** cells: the telemetry hub's cost on the headline engine cell,
   disabled (must be measurement noise, <2% vs. the committed baseline)
   and enabled with the in-memory ring buffer (budget ≤5%), including the
-  counter-sampled mode (``sample_rate``); see :mod:`repro.obs`.
+  counter-sampled mode (``sample_rate``); see :mod:`repro.obs`;
+- **aggregate** cells: the sweep-timeline merge
+  (:func:`repro.obs.aggregate.merge_events`) over a synthetic 200-cell
+  sweep's per-cell event files, budget-gated per merged event.
 
 Results go to ``BENCH_engine.json`` (repo root by convention; CI uploads
 it as an artifact) plus a human-readable ASCII table on stdout.  Timings
@@ -443,6 +446,8 @@ def _time_obs_cell(
     rounds = max(1, last_result.rounds)
 
     def per_round_cost(iters: int = 50_000) -> float:
+        from .obs.hub import HEARTBEAT_INTERVAL_S, PROGRESS_INTERVAL_S
+
         round_span = HUB.span("engine.round")
         step_span = HUB.span("engine.protocol-step")
         started = time.process_time()
@@ -450,11 +455,26 @@ def _time_obs_cell(
             with round_span:
                 with step_span:
                     pass
-            if HUB.active and HUB.tick("round"):  # mirrors the engine's guard
-                HUB.event(
-                    "round",
-                    {"round": i, "moved": 0, "attempted": 0, "messages": 0, "unsatisfied": 0},
-                )
+            if HUB.active:  # mirrors the engine's per-round guard block
+                if HUB.tick("round"):
+                    HUB.event(
+                        "round",
+                        {"round": i, "moved": 0, "attempted": 0, "messages": 0, "unsatisfied": 0},
+                    )
+                if HUB.every("cell.heartbeat", HEARTBEAT_INTERVAL_S):
+                    HUB.event("cell.heartbeat", {"round": i, "unsatisfied": 0})
+                if HUB.every("cell.progress", PROGRESS_INTERVAL_S):
+                    HUB.event(
+                        "cell.progress",
+                        {
+                            "round": i,
+                            "max_rounds": iters,
+                            "unsatisfied": 0,
+                            "n_users": 0,
+                            "moves": 0,
+                            "messages": 0,
+                        },
+                    )
         return (time.process_time() - started) / iters
 
     cost_off = per_round_cost()  # null spans + guard: the disabled tax
@@ -579,6 +599,77 @@ def _time_runs_cell(*, n: int, m: int, max_rounds: int, reps: int) -> dict[str, 
     }
 
 
+def _time_aggregate_cell(
+    *, cells: int = 200, events_per_cell: int = 50, repeats: int = 3
+) -> dict[str, Any]:
+    """Timeline-merge cost on a synthetic 200-cell sweep's event files.
+
+    Builds ``cells`` per-cell ``obs-events/v1`` files (one meta header +
+    heartbeats/rounds each, one file torn mid-record — the tolerance path
+    must be on the timed path, it always runs in production), then times
+    :func:`repro.obs.aggregate.merge_events` best-of-``repeats``.  The
+    headline ``events_per_sec`` is the merge's throughput; the derived
+    ``per_event_cost_us`` is what the budget test pins.
+    """
+    import shutil
+    import tempfile
+
+    from .obs.aggregate import merge_events
+
+    tmp = Path(tempfile.mkdtemp(prefix="bench-aggregate-"))
+    try:
+        events_dir = tmp / "events"
+        events_dir.mkdir()
+        base_t = 1_700_000_000.0
+        for i in range(cells):
+            lines = [
+                json.dumps(
+                    {
+                        "type": "meta",
+                        "t": base_t + i,
+                        "schema": "obs-events/v1",
+                        "meta": {"label": f"bench-cell-{i}"},
+                    }
+                )
+            ]
+            for j in range(events_per_cell - 1):
+                kind = "cell.heartbeat" if j % 10 == 0 else "round"
+                lines.append(
+                    json.dumps(
+                        {
+                            "type": kind,
+                            "t": base_t + i + 0.01 * j,
+                            "round": j,
+                            "unsatisfied": cells - i,
+                        }
+                    )
+                )
+            (events_dir / f"cell-{i:032x}.jsonl").write_text("\n".join(lines) + "\n")
+        with (events_dir / f"cell-{0:032x}.jsonl").open("a") as fh:
+            fh.write('{"type": "round", "t": 1.0, "trunc')  # torn final line
+
+        best = float("inf")
+        summary: dict[str, Any] = {}
+        for _ in range(repeats):
+            started = time.perf_counter()
+            summary = merge_events(events_dir, out=tmp / "timeline.jsonl")
+            elapsed = time.perf_counter() - started
+            best = min(best, elapsed)
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+    records = max(1, summary.get("records", 0))
+    return {
+        "kind": "aggregate",
+        "name": "obs/aggregate",
+        "cells": cells,
+        "records": int(summary.get("records", 0)),
+        "bad_lines": int(summary.get("bad_lines", 0)),
+        "seconds": best,
+        "events_per_sec": records / best,
+        "per_event_cost_us": best / records * 1e6,
+    }
+
+
 def _time_query_cell(*, n: int, m: int, calls: int = 200) -> dict[str, Any]:
     from .core.state import State, caching_disabled
     from .registry import build_instance
@@ -679,6 +770,8 @@ def run_bench(
         cells.append(
             _time_runs_cell(n=n, m=m, max_rounds=params["max_rounds"], reps=params["reps"])
         )
+    if want("obs/aggregate"):
+        cells.append(_time_aggregate_cell(repeats=max(n_repeats, 3)))
     if want("obs/overhead@unit/sampling-slackrate/sync"):
         cells.append(
             _time_obs_cell(
@@ -732,6 +825,13 @@ def render_bench(payload: dict[str, Any]) -> str:
                 f"{c['reps']} reps lockstep, "
                 f"{c['user_rounds_per_sec']:,.0f} user-rounds/s "
                 f"(serial {c['serial_user_rounds_per_sec']:,.0f})"
+            )
+        elif c["kind"] == "aggregate":
+            metric = f"{c['events_per_sec']:,.0f} events/s"
+            detail = (
+                f"{c['cells']} cells, {c['records']:,} records merged, "
+                f"{c['per_event_cost_us']:.1f}us/event, "
+                f"{c['bad_lines']} torn line(s) tolerated"
             )
         elif c["kind"] == "obs":
             metric = f"{c['overhead_pct']:+.2f}% overhead"

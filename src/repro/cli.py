@@ -11,7 +11,10 @@ Installed as ``repro-qoslb`` (also ``python -m repro``)::
     repro-qoslb churn --rho 0.9              # steady-state QoS under churn
     repro-qoslb bench --scale smoke          # perf harness -> BENCH_engine.json
     repro-qoslb trend BENCH_*.json           # perf trend across bench artifacts
+    repro-qoslb trend bench-history/ --gate  # statistical perf-regression verdict
+    repro-qoslb runs watch sweep/            # live dashboard over a running sweep
     repro-qoslb trace-report run.jsonl       # summarize an obs event file
+    repro-qoslb trace-report sweep/ --top-functions 15   # cProfile view
     repro-qoslb demo                         # 30-second guided tour
 """
 
@@ -172,10 +175,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         HUB.enable(args.obs_out, command="sweep")
     try:
         if args.resume:
-            if args.experiments or args.set or args.backend is not None:
+            if args.experiments or args.set or args.backend is not None or args.no_events or args.profile:
                 raise SystemExit(
-                    "--resume reuses the journalled configuration; "
-                    "drop the experiment ids / --set / --backend overrides"
+                    "--resume reuses the journalled configuration; drop the "
+                    "experiment ids / --set / --backend / --no-events / --profile overrides"
                 )
             summary = resume_sweep(
                 args.resume,
@@ -202,6 +205,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 max_cells=args.max_cells,
                 overrides=overrides,
                 backend=args.backend,
+                events=not args.no_events,
+                profile=args.profile,
             )
     finally:
         if args.obs_out:
@@ -212,6 +217,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         f"{summary['failed']} failed, {summary['deferred']} deferred "
         f"[{summary['wall_s']:.1f}s]"
     )
+    timeline = summary.get("timeline")
+    if timeline:
+        print(
+            f"[timeline {timeline['out']}: {timeline['records']} event(s) "
+            f"from {timeline['cells']} cell(s)]"
+        )
     for failure in summary["failures"]:
         print(
             f"  FAILED {failure['experiment_id']}/{failure['label']} "
@@ -235,6 +246,21 @@ def _cmd_runs_status(args: argparse.Namespace) -> int:
     status = sweep_status(args.dir)
     print(render_status(status))
     return 1 if status["totals"]["failed"] else 0
+
+
+def _cmd_runs_watch(args: argparse.Namespace) -> int:
+    from .runs import watch
+
+    try:
+        return watch(
+            args.dir,
+            interval=args.interval,
+            once=args.once,
+            follow=args.follow,
+            max_rows=args.max_rows,
+        )
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        return 0
 
 
 def _cmd_runs_gc(args: argparse.Namespace) -> int:
@@ -303,14 +329,27 @@ def _cmd_trend(args: argparse.Namespace) -> int:
     if not paths:
         print("no bench artifacts found (expected BENCH_engine*.json)", file=sys.stderr)
         return 2
+    if args.gate:
+        from .obs import gate, render_gate
+
+        result = gate(paths, band=args.gate_band)
+        # JSON on stdout is the contract (CI parses it); the table is
+        # operator garnish on stderr.
+        print(json.dumps(result, indent=2, sort_keys=True))
+        print(render_gate(result), file=sys.stderr)
+        return 1 if result["verdict"] == "regressed" else 0
     print(render_trend(paths))
     return 0
 
 
 def _cmd_trace_report(args: argparse.Namespace) -> int:
-    from .obs import render_report, summarize_events
+    from .obs import render_profiles, render_report, summarize_events
 
-    print(render_report(summarize_events(args.path), top=args.top))
+    path = Path(args.path)
+    if args.top_functions or path.suffix == ".pstats":
+        print(render_profiles(path, top=args.top_functions or 15))
+        return 0
+    print(render_report(summarize_events(path), top=args.top))
     return 0
 
 
@@ -512,6 +551,17 @@ def main(argv: list[str] | None = None) -> int:
     p_sweep.add_argument(
         "--obs-out", metavar="PATH", help="record sweep telemetry to this JSONL file"
     )
+    p_sweep.add_argument(
+        "--no-events",
+        action="store_true",
+        help="skip per-cell event shipping and the merged timeline (on by default)",
+    )
+    p_sweep.add_argument(
+        "--profile",
+        action="store_true",
+        help="cProfile every cell into <out>/profiles/*.pstats "
+        "(view with trace-report --top-functions)",
+    )
     p_sweep.set_defaults(fn=_cmd_sweep)
 
     p_runs = sub.add_parser("runs", help="inspect and maintain sweep directories")
@@ -519,6 +569,23 @@ def main(argv: list[str] | None = None) -> int:
     p_status = runs_sub.add_parser("status", help="per-experiment sweep progress")
     p_status.add_argument("dir", help="sweep directory (journal.jsonl + store/)")
     p_status.set_defaults(fn=_cmd_runs_status)
+    p_watch = runs_sub.add_parser(
+        "watch", help="live dashboard over a sweep's journal and event files"
+    )
+    p_watch.add_argument("dir", help="sweep directory (journal.jsonl + events/)")
+    p_watch.add_argument(
+        "--interval", type=float, default=2.0, help="refresh period in seconds"
+    )
+    p_watch.add_argument(
+        "--once", action="store_true", help="render a single frame and exit (CI mode)"
+    )
+    p_watch.add_argument(
+        "--follow", action="store_true", help="keep watching after the sweep completes"
+    )
+    p_watch.add_argument(
+        "--max-rows", type=int, default=12, help="cap on per-cell rows shown per section"
+    )
+    p_watch.set_defaults(fn=_cmd_runs_watch)
     p_gc = runs_sub.add_parser(
         "gc", help="drop stale store payloads (other versions, corrupt files)"
     )
@@ -596,13 +663,39 @@ def main(argv: list[str] | None = None) -> int:
         nargs="*",
         help="bench artifacts (default: BENCH_engine*.json in the current directory)",
     )
+    p_trend.add_argument(
+        "--gate",
+        action="store_true",
+        help="statistical regression verdict instead of the trend table: newest "
+        "artifact vs the noise band of the rest; JSON on stdout, exit 1 on regression",
+    )
+    p_trend.add_argument(
+        "--gate-band",
+        type=float,
+        default=0.10,
+        metavar="FRAC",
+        help="noise-band floor as a fraction (default 0.10 = 10%%)",
+    )
     p_trend.set_defaults(fn=_cmd_trend)
 
     p_report = sub.add_parser(
         "trace-report", help="summarize an obs-events/v1 JSONL telemetry file"
     )
-    p_report.add_argument("path", help="event file written by the telemetry hub")
+    p_report.add_argument(
+        "path",
+        help="event file written by the telemetry hub, a .pstats profile, "
+        "or a sweep/profiles directory",
+    )
     p_report.add_argument("--top", type=int, default=12, help="spans shown (by total time)")
+    p_report.add_argument(
+        "--top-functions",
+        type=int,
+        nargs="?",
+        const=15,
+        default=None,
+        metavar="N",
+        help="render cProfile .pstats top functions instead of the event report",
+    )
     p_report.set_defaults(fn=_cmd_trace_report)
 
     sub.add_parser("demo", help="30-second guided tour").set_defaults(fn=_cmd_demo)

@@ -9,23 +9,42 @@ Zero-dependency, process-local instrumentation for the simulators (see
         repro.run(instance, protocol, seed=0)
     print(obs.render_report(obs.summarize_events("run.jsonl")))
 
-CLI surface: ``repro-qoslb trend`` (bench artifact series) and
-``repro-qoslb trace-report`` (one event file); ``repro-qoslb simulate
---obs-out run.jsonl`` records a run.  See ``docs/OBSERVABILITY.md``.
+Sweeps ship per-cell event files that :mod:`repro.obs.aggregate` merges
+into one timeline, and :mod:`repro.obs.regress` gates bench-artifact
+history for perf regressions.
+
+CLI surface: ``repro-qoslb trend`` (bench artifact series, ``--gate``
+for the regression verdict), ``repro-qoslb trace-report`` (one event
+file, or ``--top-functions`` over ``.pstats`` profiles), ``repro-qoslb
+runs watch`` (live sweep dashboard); ``repro-qoslb simulate --obs-out
+run.jsonl`` records a run.  See ``docs/OBSERVABILITY.md``.
 """
 
+from .aggregate import TIMELINE_NAME, cell_digest, cell_event_files, merge_events, read_events
 from .hub import HUB, OBS_EVENTS_SCHEMA, TelemetryHub
 from .provenance import PROVENANCE_FIELDS, git_sha, provenance_stamp
-from .report import render_report, summarize_events
+from .regress import GATE_SCHEMA, gate, gate_cells, render_gate
+from .report import profile_rows, render_profiles, render_report, summarize_events
 from .trend import load_bench_artifacts, render_trend, trend_rows
 
 __all__ = [
     "HUB",
     "TelemetryHub",
     "OBS_EVENTS_SCHEMA",
+    "GATE_SCHEMA",
+    "TIMELINE_NAME",
     "PROVENANCE_FIELDS",
     "git_sha",
     "provenance_stamp",
+    "cell_digest",
+    "cell_event_files",
+    "merge_events",
+    "read_events",
+    "gate",
+    "gate_cells",
+    "render_gate",
+    "profile_rows",
+    "render_profiles",
     "render_report",
     "summarize_events",
     "load_bench_artifacts",

@@ -29,6 +29,7 @@ inherit a disabled hub unless their task enables one.
 from __future__ import annotations
 
 import json
+import os
 import time
 from collections import deque
 from contextlib import contextmanager
@@ -41,6 +42,15 @@ __all__ = ["TelemetryHub", "HUB", "OBS_EVENTS_SCHEMA"]
 
 #: Event-file schema identifier (frozen; see tests/test_obs.py).
 OBS_EVENTS_SCHEMA = "obs-events/v1"
+
+#: Wall-clock throttles for the engine's liveness events (see
+#: :meth:`TelemetryHub.every`): a ``cell.heartbeat`` at most once per
+#: second keeps ``runs watch`` heartbeat ages meaningful without flooding
+#: the sink; ``cell.progress`` carries the heavier workload snapshot at a
+#: coarser cadence.  The first occurrence of each always fires, so even a
+#: sub-millisecond run ships one heartbeat and one progress record.
+HEARTBEAT_INTERVAL_S = 1.0
+PROGRESS_INTERVAL_S = 5.0
 
 # Bound once: module-attribute lookups cost real time on per-round paths.
 _perf_counter = time.perf_counter
@@ -115,6 +125,7 @@ class TelemetryHub:
         "ring",
         "sample_rate",
         "_ticks",
+        "_last_emit",
         "_stack",
         "_sink",
         "_sink_path",
@@ -130,6 +141,7 @@ class TelemetryHub:
         #: Emit every ``sample_rate``-th high-frequency event (1 = all).
         self.sample_rate: int = 1
         self._ticks: dict[str, int] = {}
+        self._last_emit: dict[str, float] = {}
         self._stack: list[str] = []
         self._sink: TextIO | None = None
         self._sink_path: Path | None = None
@@ -166,6 +178,7 @@ class TelemetryHub:
         self.ring = deque(maxlen=int(ring_size))
         self.sample_rate = int(sample_rate)
         self._ticks = {}
+        self._last_emit = {}
         self._stack = []
         if jsonl_path is not None:
             path = Path(jsonl_path)
@@ -252,6 +265,24 @@ class TelemetryHub:
         self._ticks[name] = seen + 1
         return seen % rate == 0
 
+    def every(self, name: str, interval: float) -> bool:
+        """Wall-clock throttle for periodic events (heartbeats, progress).
+
+        Returns True on the first call per ``name`` after :meth:`enable`
+        and then at most once per ``interval`` seconds, so liveness
+        signals stay cheap regardless of round rate: short runs still
+        emit at least one, long runs emit a bounded stream.  Hot paths
+        guard with ``if HUB.active and HUB.every("cell.heartbeat", 1.0):``.
+        """
+        if not self.active:
+            return False
+        now = _perf_counter()
+        last = self._last_emit.get(name)
+        if last is not None and now - last < interval:
+            return False
+        self._last_emit[name] = now
+        return True
+
     def gauge(self, name: str, value: float) -> None:
         """Record the latest value of a point-in-time measurement."""
         if not self.active:
@@ -276,6 +307,12 @@ class TelemetryHub:
             from ..sim.trace import _jsonable  # lazy: avoids an import cycle
 
             self._sink.write(json.dumps(_jsonable(record), sort_keys=True) + "\n")
+            # Flush per record: live readers (``runs watch``) and crash
+            # post-mortems must see whole lines, and a forked child must
+            # never inherit half of this process's write buffer.  Events
+            # are already sampled/throttled on hot paths, so the flush is
+            # rare relative to rounds and stays inside the overhead budget.
+            self._sink.flush()
 
     # -- introspection -----------------------------------------------------------
 
@@ -294,3 +331,33 @@ class TelemetryHub:
 
 #: The process-global hub every instrumented layer reports to.
 HUB = TelemetryHub()
+
+
+def _neutralize_after_fork() -> None:
+    """Disarm an inherited hub in a freshly forked child process.
+
+    A ``fork``-started worker inherits the parent's hub *enabled*, holding
+    the parent's open JSONL sink — anything the child then logged would
+    interleave with (and corrupt) the parent's event file, and the child's
+    eventual ``disable()`` would append a second counters/spans summary.
+    The child therefore starts dark: the inherited sink is closed (safe —
+    the single-threaded parent flushes per record, so the copied buffer
+    is empty and the close appends nothing) and the hub returns to the
+    disabled state, free to be enabled on the worker's own per-cell
+    file.  ``spawn``-started workers get a fresh interpreter and need no
+    help.
+    """
+    sink = HUB._sink
+    HUB._sink = None
+    HUB._sink_path = None
+    HUB.active = False
+    HUB._stack = []
+    if sink is not None:
+        try:
+            sink.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+
+
+if hasattr(os, "register_at_fork"):  # POSIX; never fires on spawn
+    os.register_at_fork(after_in_child=_neutralize_after_fork)

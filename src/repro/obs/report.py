@@ -5,6 +5,11 @@ folds it back into the questions an operator actually asks: *where did the
 time go* (top spans by cumulative seconds), *what did the run spend* (final
 counter totals), and *how did per-round message traffic distribute* (a
 histogram over the engine's ``round`` events).
+
+``repro-qoslb trace-report --top-functions`` additionally understands the
+``.pstats`` files a ``sweep --profile`` leaves under ``profiles/``: one
+file renders its own top-function table, a directory is folded into one
+sweep-wide table first.
 """
 
 from __future__ import annotations
@@ -13,7 +18,7 @@ import json
 from pathlib import Path
 from typing import Any
 
-__all__ = ["summarize_events", "render_report"]
+__all__ = ["summarize_events", "render_report", "profile_rows", "render_profiles"]
 
 
 def summarize_events(path: str | Path) -> dict[str, Any]:
@@ -145,3 +150,69 @@ def render_report(summary: dict[str, Any], *, top: int = 12) -> str:
         else:
             lines.append(f"per-round messages constant at {messages[0]:.0f}")
     return "\n".join(lines)
+
+
+def _pstats_files(path: str | Path) -> list[Path]:
+    p = Path(path)
+    if p.is_dir():
+        # Accept a sweep directory or its profiles/ subdirectory directly.
+        sub = p / "profiles"
+        root = sub if sub.is_dir() else p
+        return sorted(root.glob("*.pstats"))
+    return [p]
+
+
+def profile_rows(path: str | Path, *, top: int = 15) -> list[dict[str, Any]]:
+    """Top functions by cumulative time across one or many ``.pstats`` files.
+
+    A directory folds every per-cell profile of a sweep into one
+    :class:`pstats.Stats`, so the rows answer "where did the *sweep*
+    spend its CPU", not just one cell.  Rows carry ``ncalls``,
+    ``tottime`` (own), ``cumtime`` (with callees) and the
+    ``file:line(function)`` location.
+    """
+    import pstats
+
+    files = _pstats_files(path)
+    if not files:
+        raise FileNotFoundError(f"{path}: no .pstats files")
+    stats = pstats.Stats(str(files[0]))
+    for extra in files[1:]:
+        stats.add(str(extra))
+    rows: list[dict[str, Any]] = []
+    for (filename, lineno, funcname), (cc, nc, tt, ct, _callers) in stats.stats.items():
+        rows.append(
+            {
+                "function": funcname,
+                "location": f"{Path(filename).name}:{lineno}",
+                "ncalls": int(nc),
+                "tottime": float(tt),
+                "cumtime": float(ct),
+            }
+        )
+    rows.sort(key=lambda r: -r["cumtime"])
+    return rows[:top]
+
+
+def render_profiles(path: str | Path, *, top: int = 15) -> str:
+    """ASCII table of :func:`profile_rows` (``--top-functions`` view)."""
+    from ..analysis.tables import render_table
+
+    files = _pstats_files(path)
+    rows = profile_rows(path, top=top)
+    table_rows = [
+        [
+            r["function"],
+            r["location"],
+            f"{r['ncalls']:,}",
+            f"{r['tottime']:.4f}",
+            f"{r['cumtime']:.4f}",
+        ]
+        for r in rows
+    ]
+    title = f"top functions by cumulative time — {len(files)} profile(s) from {path}"
+    return render_table(
+        ["function", "location", "ncalls", "tottime s", "cumtime s"],
+        table_rows,
+        title=title,
+    )

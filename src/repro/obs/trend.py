@@ -27,6 +27,7 @@ _METRICS: dict[str, tuple[str, str]] = {
     "query": ("cache_speedup", "x speedup"),
     "obs": ("enabled_rounds_per_sec", "rounds/s"),
     "runs": ("speedup_2w", "x speedup"),
+    "aggregate": ("events_per_sec", "events/s"),
 }
 
 
@@ -59,20 +60,25 @@ def trend_rows(payloads: list[dict[str, Any]]) -> list[dict[str, Any]]:
     order: list[str] = []
     kinds: dict[str, str] = {}
     for payload in payloads:
-        for cell in payload["cells"]:
-            name = cell["name"]
-            if name not in kinds:
+        for cell in payload.get("cells") or []:
+            name = cell.get("name")
+            if name is not None and name not in kinds:
                 order.append(name)
-                kinds[name] = cell["kind"]
+                kinds[name] = cell.get("kind", "?")
     rows = []
     for name in order:
         kind = kinds[name]
         metric_key, unit = _METRICS.get(kind, ("seconds", "s"))
         series: list[float] = []
         for payload in payloads:
-            hit = next((c for c in payload["cells"] if c["name"] == name), None)
+            hit = next(
+                (c for c in payload.get("cells") or [] if c.get("name") == name), None
+            )
             value = hit.get(metric_key) if hit is not None else None
-            series.append(float("nan") if value is None else float(value))
+            try:
+                series.append(float("nan") if value is None else float(value))
+            except (TypeError, ValueError):
+                series.append(float("nan"))
         rows.append(
             {"name": name, "kind": kind, "metric": metric_key, "unit": unit, "series": series}
         )
@@ -103,7 +109,7 @@ def render_trend(paths: Iterable[str | Path]) -> str:
         finite = series[np.isfinite(series)]
         first = float(finite[0]) if finite.size else float("nan")
         last = float(finite[-1]) if finite.size else float("nan")
-        if finite.size >= 2 and first:
+        if finite.size >= 2 and first and math.isfinite(first) and math.isfinite(last):
             delta = f"{100.0 * (last - first) / abs(first):+.1f}%"
         else:
             delta = "-"
@@ -111,7 +117,9 @@ def render_trend(paths: Iterable[str | Path]) -> str:
             [
                 entry["name"],
                 entry["unit"],
-                sparkline(series) if series.size else "",
+                # "·" marks a hole — the cell is absent from that artifact
+                # (hole-punched history, older harness revision).
+                sparkline(series, gap="·") if series.size else "",
                 _fmt(first),
                 _fmt(last),
                 delta,
@@ -122,7 +130,7 @@ def render_trend(paths: Iterable[str | Path]) -> str:
     title = (
         f"bench trend — {len(payloads)} artifact(s)"
         + (f" spanning {span_days:.1f} days" if span_days and math.isfinite(span_days) else "")
-        + f", scale(s) {sorted({p['scale'] for p in payloads})}"
+        + f", scale(s) {sorted({p.get('scale', '?') for p in payloads})}"
     )
     table = render_table(
         ["cell", "metric", "trend (old→new)", "first", "last", "Δ"], rows, title=title

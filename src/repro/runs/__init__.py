@@ -11,7 +11,9 @@ production sweep system:
 - :mod:`repro.runs.scheduler` — multiprocess execution with
   longest-expected-first ordering, per-cell timeouts and bounded retry;
 - :mod:`repro.runs.sweep` — ``repro-qoslb sweep`` / ``--resume`` /
-  ``runs status`` / ``runs gc`` orchestration on top.
+  ``runs status`` / ``runs gc`` orchestration on top;
+- :mod:`repro.runs.watch` — live terminal dashboard over a sweep's
+  journal and per-cell event files (``repro-qoslb runs watch``).
 
 See ``docs/RUNS.md`` for the store layout, schemas and failure policy.
 """
@@ -27,6 +29,7 @@ from .scheduler import (
 )
 from .store import (
     CELL_SCHEMA,
+    TELEMETRY_FIELDS,
     CellSpec,
     ResultStore,
     active_store,
@@ -43,10 +46,12 @@ from .sweep import (
     sweep_status,
     sweepable_experiments,
 )
+from .watch import render_watch, sweep_snapshot, watch
 
 __all__ = [
     "CELL_SCHEMA",
     "JOURNAL_SCHEMA",
+    "TELEMETRY_FIELDS",
     "CellSpec",
     "CellTimeout",
     "DEFAULT_RETRIES",
@@ -61,11 +66,14 @@ __all__ = [
     "execute_cell",
     "read_journal",
     "render_status",
+    "render_watch",
     "results_from_payload",
     "resume_sweep",
     "run_cells",
     "run_sweep",
+    "sweep_snapshot",
     "sweep_status",
     "sweepable_experiments",
     "use_store",
+    "watch",
 ]

@@ -19,19 +19,27 @@ through the content-addressed store and a ``ProcessPoolExecutor``:
   *completes* with a non-zero ``failed`` count instead of aborting.
 
 Workers execute :func:`execute_cell` — replication is serial inside the
-worker (the cell is the fan-out unit) and the telemetry hub is inherited
-disabled, so the parent's obs spans/counters describe the sweep itself.
+worker (the cell is the fan-out unit).  A fork-started worker never
+inherits the parent's enabled hub (the hub disarms itself after fork, see
+:mod:`repro.obs.hub`); instead, when the sweep ships events, each worker
+enables its *own* per-cell JSONL sink under ``<sweep_dir>/events/`` and
+records a resource profile (wall/CPU/rusage/cache counters) into the
+``runs-cell/v1`` payload's ``telemetry`` block — the raw material the
+coordinator merges into the sweep timeline and ``runs watch`` renders.
 """
 
 from __future__ import annotations
 
+import resource
 import signal
 import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from contextlib import contextmanager
+from pathlib import Path
 from typing import Any, Iterator, Sequence
 
+from ..core.state import CACHE_STATS
 from ..obs import HUB as _OBS
 from .journal import Journal
 from .store import CellSpec, ResultStore, build_payload, cell_key
@@ -40,6 +48,7 @@ __all__ = [
     "CellTimeout",
     "DEFAULT_TIMEOUT",
     "DEFAULT_RETRIES",
+    "WORKER_SAMPLE_RATE",
     "backoff_delay",
     "execute_cell",
     "run_cells",
@@ -53,6 +62,11 @@ DEFAULT_RETRIES = 2
 #: Backoff: ``min(cap, base * 2**attempt)`` seconds before retry *attempt*.
 BACKOFF_BASE = 0.25
 BACKOFF_CAP = 8.0
+#: Round-event thinning for worker sinks (``HUB.enable(sample_rate=...)``):
+#: per-round events are trend data, not liveness — heartbeats/progress are
+#: wall-clock throttled separately — so 1-in-16 keeps per-cell files small
+#: and the per-event flush off the hot path's back.
+WORKER_SAMPLE_RATE = 16
 
 
 class CellTimeout(RuntimeError):
@@ -101,6 +115,8 @@ def execute_cell(
     timeout: float | None = None,
     delay: float = 0.0,
     backend: str | None = None,
+    events_dir: str | Path | None = None,
+    profile_dir: str | Path | None = None,
 ) -> dict[str, Any]:
     """Worker entry point: one cell to a ``runs-cell/v1`` payload.
 
@@ -109,13 +125,84 @@ def execute_cell(
     engine inside the worker (payloads stay backend-agnostic).  No store
     I/O happens here — the parent owns the store, keeping writes
     single-process and atomic.
+
+    ``events_dir`` enables this process's telemetry hub onto a per-cell
+    JSONL sink ``<events_dir>/cell-<key>.jsonl`` for the duration of the
+    cell (``obs-events/v1`` plus the engine's ``cell.heartbeat`` /
+    ``cell.progress`` liveness records, round events thinned to
+    1-in-:data:`WORKER_SAMPLE_RATE`).  If the hub is already active in
+    this process — a serial in-process sweep under ``--obs-out`` — the
+    caller's sink wins and no per-cell file is written.  ``profile_dir``
+    additionally wraps the cell in :mod:`cProfile` (stats to
+    ``<profile_dir>/cell-<key>.pstats``) and ``tracemalloc`` (peak into
+    the telemetry block).  Every executed cell records a resource
+    profile regardless: wall seconds, ``getrusage`` user/sys CPU deltas,
+    max RSS, and state-cache hit/miss deltas.
     """
     if delay > 0:
         time.sleep(delay)
+    key = cell_key(cell)
+    events_path: Path | None = None
+    if events_dir is not None and not _OBS.active:
+        events_path = Path(events_dir) / f"cell-{key}.jsonl"
+    profiler = None
+    peak_traced: int | None = None
+    if profile_dir is not None:
+        import cProfile
+        import tracemalloc
+
+        profiler = cProfile.Profile()
+        tracemalloc.start()
+    ru0 = resource.getrusage(resource.RUSAGE_SELF)
+    hits0, misses0 = CACHE_STATS.hits, CACHE_STATS.misses
     started = time.perf_counter()
-    with _deadline(timeout):
-        results = cell.run(backend=backend)
-    return build_payload(cell, results, duration_s=time.perf_counter() - started)
+    if events_path is not None:
+        _OBS.enable(
+            events_path,
+            sample_rate=WORKER_SAMPLE_RATE,
+            cell_key=key,
+            experiment_id=cell.experiment_id,
+            label=cell.spec.label,
+            n_reps=cell.n_reps,
+        )
+    try:
+        with _deadline(timeout):
+            if profiler is not None:
+                profiler.enable()
+            try:
+                results = cell.run(backend=backend)
+            finally:
+                if profiler is not None:
+                    profiler.disable()
+    finally:
+        if events_path is not None:
+            _OBS.disable()
+        if profile_dir is not None:
+            import tracemalloc
+
+            peak_traced = int(tracemalloc.get_traced_memory()[1])
+            tracemalloc.stop()
+    duration = time.perf_counter() - started
+    ru1 = resource.getrusage(resource.RUSAGE_SELF)
+    profile_path: Path | None = None
+    if profiler is not None:
+        root = Path(profile_dir)
+        root.mkdir(parents=True, exist_ok=True)
+        profile_path = root / f"cell-{key}.pstats"
+        profiler.dump_stats(profile_path)
+    telemetry = {
+        "wall_s": duration,
+        "cpu_user_s": ru1.ru_utime - ru0.ru_utime,
+        "cpu_sys_s": ru1.ru_stime - ru0.ru_stime,
+        "max_rss_bytes": int(ru1.ru_maxrss) * 1024,
+        "cache_hits": int(CACHE_STATS.hits - hits0),
+        "cache_misses": int(CACHE_STATS.misses - misses0),
+        "rounds": int(sum(r.rounds for r in results)),
+        "peak_traced_bytes": peak_traced,
+        "events_file": events_path.name if events_path is not None else None,
+        "profile_file": profile_path.name if profile_path is not None else None,
+    }
+    return build_payload(cell, results, duration_s=duration, telemetry=telemetry)
 
 
 def _journal_cell(journal: Journal | None, record_type: str, key: str, cell: CellSpec, **fields: Any) -> None:
@@ -140,6 +227,8 @@ def run_cells(
     force: bool = False,
     max_cells: int | None = None,
     backend: str | None = None,
+    events_dir: str | Path | None = None,
+    profile_dir: str | Path | None = None,
 ) -> dict[str, Any]:
     """Execute a batch of cells through the cache and the pool.
 
@@ -149,9 +238,18 @@ def run_cells(
     and picked up by a later resume (an operational budget knob, also the
     deterministic interruption used by the resumability tests).
     ``backend`` is forwarded to every :func:`execute_cell` call; payloads
-    and cache keys do not depend on it.
+    and cache keys do not depend on it.  ``events_dir``/``profile_dir``
+    turn on per-cell event shipping and cProfile+tracemalloc profiling in
+    the workers (see :func:`execute_cell`); like ``backend`` they are
+    execution knobs outside the cache key.
     """
     t_start = time.perf_counter()
+    if events_dir is not None:
+        events_dir = str(events_dir)
+        Path(events_dir).mkdir(parents=True, exist_ok=True)
+    if profile_dir is not None:
+        profile_dir = str(profile_dir)
+        Path(profile_dir).mkdir(parents=True, exist_ok=True)
     by_key: dict[str, CellSpec] = {}
     for cell in cells:
         by_key.setdefault(cell_key(cell), cell)
@@ -251,6 +349,8 @@ def run_cells(
                             timeout,
                             backoff_delay(attempt - 1) if attempt else 0.0,
                             backend,
+                            events_dir,
+                            profile_dir,
                         )
                     except Exception as exc:
                         last_error = exc
@@ -266,7 +366,9 @@ def run_cells(
                 for key in pending:  # submission order = priority order
                     _journal_cell(journal, "started", key, by_key[key], attempt=0)
                     futures[
-                        pool.submit(execute_cell, by_key[key], timeout, 0.0, backend)
+                        pool.submit(
+                            execute_cell, by_key[key], timeout, 0.0, backend, events_dir, profile_dir
+                        )
                     ] = (key, 0)
                 while futures:
                     done, _ = wait(futures, return_when=FIRST_COMPLETED)
@@ -286,6 +388,8 @@ def run_cells(
                                         timeout,
                                         backoff_delay(attempt),
                                         backend,
+                                        events_dir,
+                                        profile_dir,
                                     )
                                 ] = (key, attempt + 1)
                             else:

@@ -45,6 +45,7 @@ from ..sim.parallel import RunSpec, replicate
 __all__ = [
     "CELL_SCHEMA",
     "RESULT_FIELDS",
+    "TELEMETRY_FIELDS",
     "CellSpec",
     "cell_key",
     "build_payload",
@@ -72,6 +73,25 @@ RESULT_FIELDS = (
     "protocol",
     "schedule",
     "seed",
+)
+
+#: Keys of the optional per-cell resource profile (frozen with the
+#: schema).  The block is *additive* to ``runs-cell/v1``: payloads from
+#: older sweeps simply lack it, readers must treat it as optional, and it
+#: never feeds the cache key (wall clocks and rusage are provenance, not
+#: results).  ``peak_traced_bytes``, ``events_file`` and ``profile_file``
+#: are ``None`` unless the corresponding opt-in was active.
+TELEMETRY_FIELDS = (
+    "wall_s",
+    "cpu_user_s",
+    "cpu_sys_s",
+    "max_rss_bytes",
+    "cache_hits",
+    "cache_misses",
+    "rounds",
+    "peak_traced_bytes",
+    "events_file",
+    "profile_file",
 )
 
 
@@ -136,11 +156,20 @@ def _result_from_dict(data: dict[str, Any]) -> RunResult:
 
 
 def build_payload(
-    cell: CellSpec, results: list[RunResult], *, duration_s: float
+    cell: CellSpec,
+    results: list[RunResult],
+    *,
+    duration_s: float,
+    telemetry: dict[str, Any] | None = None,
 ) -> dict[str, Any]:
-    """Assemble the ``runs-cell/v1`` payload for one executed cell."""
+    """Assemble the ``runs-cell/v1`` payload for one executed cell.
+
+    ``telemetry`` is the optional per-cell resource profile (see
+    :data:`TELEMETRY_FIELDS`); when given it is stored alongside the
+    results but, like provenance, never participates in the cache key.
+    """
     key = cell_key(cell)
-    return {
+    payload = {
         "schema": CELL_SCHEMA,
         "key": key,
         "cell": {**cell.describe(), "experiment_id": cell.experiment_id},
@@ -148,6 +177,9 @@ def build_payload(
         "duration_s": float(duration_s),
         "provenance": provenance_stamp(cell_key=key),
     }
+    if telemetry is not None:
+        payload["telemetry"] = dict(telemetry)
+    return payload
 
 
 def results_from_payload(payload: dict[str, Any]) -> list[RunResult]:

@@ -5,6 +5,9 @@ A sweep directory is self-describing::
     <out>/
       journal.jsonl   # runs-journal/v1: header (config) + cell records
       store/          # runs-cell/v1 payloads, content-addressed
+      events/         # per-cell obs-events/v1 files (workers write these)
+      timeline.jsonl  # merged sweep-wide event timeline (coordinator)
+      profiles/       # per-cell .pstats, only under profile=True
       summary.json    # last invocation's summary
 
 :func:`run_sweep` enumerates the cell decomposition of the requested
@@ -29,6 +32,7 @@ from pathlib import Path
 from typing import Any
 
 from ..obs import HUB as _OBS
+from ..obs.aggregate import merge_events
 from .journal import Journal, read_journal
 from .scheduler import DEFAULT_RETRIES, DEFAULT_TIMEOUT, run_cells
 from .store import CellSpec, ResultStore
@@ -93,6 +97,8 @@ def run_sweep(
     max_cells: int | None = None,
     overrides: dict[str, dict[str, Any]] | None = None,
     backend: str | None = None,
+    events: bool = True,
+    profile: bool = False,
 ) -> dict[str, Any]:
     """Run (or continue) a sweep into ``out``; returns the summary.
 
@@ -101,6 +107,14 @@ def run_sweep(
     the journal and store keep everything finished.  ``backend`` selects
     the per-cell replication engine (journalled alongside ``workers`` so a
     resume re-uses it; stored payloads are backend-agnostic).
+
+    ``events`` (default on) ships per-cell telemetry: every worker writes
+    ``events/cell-<key>.jsonl`` while running its cell, and after the
+    batch the coordinator merges them into ``timeline.jsonl`` — the merge
+    also runs on a killed-and-resumed sweep, so the timeline always
+    reflects every cell that ever executed here.  ``profile`` (opt-in)
+    adds per-cell cProfile stats under ``profiles/``.  Both are execution
+    knobs: journalled for resume, invisible to cache keys.
     """
     out_dir = Path(out)
     out_dir.mkdir(parents=True, exist_ok=True)
@@ -112,9 +126,13 @@ def run_sweep(
         "overrides": overrides,
         "workers": workers,
         "backend": backend,
+        "events": bool(events),
+        "profile": bool(profile),
     }
     cells = enumerate_sweep(ids, scale, overrides)
     store = ResultStore(out_dir / "store")
+    events_dir = out_dir / "events" if events else None
+    profile_dir = out_dir / "profiles" if profile else None
     started_unix = time.time()
     with Journal(out_dir / "journal.jsonl", sweep=config) as journal:
         with _OBS.span("runs.sweep"):
@@ -128,7 +146,11 @@ def run_sweep(
                 force=force,
                 max_cells=max_cells,
                 backend=backend,
+                events_dir=events_dir,
+                profile_dir=profile_dir,
             )
+    if events_dir is not None:
+        summary["timeline"] = merge_events(events_dir)
     summary.update(
         experiments=ids,
         scale=scale,
@@ -170,6 +192,10 @@ def resume_sweep(
         max_cells=max_cells,
         overrides=config.get("overrides") or {},
         backend=config.get("backend"),
+        # Older journals predate these knobs; default to shipping events
+        # (matching run_sweep) and never auto-profiling.
+        events=bool(config.get("events", True)),
+        profile=bool(config.get("profile", False)),
     )
 
 
@@ -198,6 +224,54 @@ def sweep_status(out: str | Path) -> dict[str, Any]:
         "complete": pending == 0 and totals["failed"] == 0,
         "store_cells": len(store.keys()),
         "bad_lines": data["bad_lines"],
+        "telemetry": _fold_telemetry(store),
+    }
+
+
+def _fold_telemetry(store: ResultStore) -> dict[str, Any]:
+    """Aggregate the per-cell ``telemetry`` blocks of a sweep's store.
+
+    Payloads from sweeps that predate the telemetry block simply don't
+    contribute (``cells_with_telemetry`` says how many did).  ``slowest``
+    is the top-5 cells by wall seconds — the first place to look when a
+    sweep's tail drags.
+    """
+    cells_with = 0
+    cpu_user = cpu_sys = wall = 0.0
+    cache_hits = cache_misses = rounds = 0
+    slowest: list[dict[str, Any]] = []
+    for key in store.keys():
+        payload = store.get(key)
+        if payload is None:
+            continue
+        telemetry = payload.get("telemetry")
+        if not isinstance(telemetry, dict):
+            continue
+        cells_with += 1
+        wall += float(telemetry.get("wall_s") or 0.0)
+        cpu_user += float(telemetry.get("cpu_user_s") or 0.0)
+        cpu_sys += float(telemetry.get("cpu_sys_s") or 0.0)
+        cache_hits += int(telemetry.get("cache_hits") or 0)
+        cache_misses += int(telemetry.get("cache_misses") or 0)
+        rounds += int(telemetry.get("rounds") or 0)
+        slowest.append(
+            {
+                "key": key,
+                "experiment_id": payload.get("cell", {}).get("experiment_id", "?"),
+                "label": payload.get("cell", {}).get("spec", {}).get("label", "?"),
+                "wall_s": float(telemetry.get("wall_s") or 0.0),
+            }
+        )
+    slowest.sort(key=lambda c: -c["wall_s"])
+    return {
+        "cells_with_telemetry": cells_with,
+        "wall_s": wall,
+        "cpu_user_s": cpu_user,
+        "cpu_sys_s": cpu_sys,
+        "cache_hits": cache_hits,
+        "cache_misses": cache_misses,
+        "rounds": rounds,
+        "slowest": slowest[:5],
     }
 
 
@@ -223,4 +297,18 @@ def render_status(status: dict[str, Any]) -> str:
     notes = [f"store: {status['store_cells']} cell payload(s)"]
     if status["bad_lines"]:
         notes.append(f"journal: {status['bad_lines']} truncated/torn line(s) skipped")
+    tele = status.get("telemetry") or {}
+    if tele.get("cells_with_telemetry"):
+        notes.append(
+            f"telemetry: {tele['cells_with_telemetry']} cell(s), "
+            f"{tele['cpu_user_s'] + tele['cpu_sys_s']:.1f}s CPU "
+            f"({tele['cpu_user_s']:.1f} user + {tele['cpu_sys_s']:.1f} sys), "
+            f"{tele['rounds']} rounds, "
+            f"state cache {tele['cache_hits']}/{tele['cache_hits'] + tele['cache_misses']} hits"
+        )
+        for cell in tele.get("slowest", []):
+            notes.append(
+                f"  slow: {cell['wall_s']:8.3f}s  {cell['experiment_id']:<6} "
+                f"{cell['label']}  [{cell['key'][:12]}]"
+            )
     return table + "\n" + "\n".join(f"  {n}" for n in notes)

@@ -58,6 +58,8 @@ from ..core.protocols.rates import (
 )
 from ..core.protocols.sampling import QoSSamplingProtocol
 from ..core.state import State
+from ..obs import HUB as _OBS
+from ..obs.hub import HEARTBEAT_INTERVAL_S, PROGRESS_INTERVAL_S
 from .engine import RunResult, _seed_value
 from .rng import seed_from_key
 from .schedule import AlphaSchedule, Schedule, SynchronousSchedule
@@ -328,6 +330,28 @@ def run_batch(
             usr_lat = np.take(res_lat.reshape(-1), asgF, out=usr_buf[:A])
             unsat = np.greater(usr_lat, thresholds, out=unsat_buf[:A])
         n_unsat = np.count_nonzero(unsat, axis=1)
+
+        # Same liveness contract as the scalar engine: wall-clock
+        # throttled heartbeat/progress so a sweep worker running the
+        # batched backend is never dark to the coordinator.
+        if _OBS.active:
+            if _OBS.every("cell.heartbeat", HEARTBEAT_INTERVAL_S):
+                _OBS.event(
+                    "cell.heartbeat",
+                    {"round": round_index, "live": int(A), "unsatisfied": int(n_unsat.sum())},
+                )
+            if _OBS.every("cell.progress", PROGRESS_INTERVAL_S):
+                _OBS.event(
+                    "cell.progress",
+                    {
+                        "round": round_index,
+                        "max_rounds": max_rounds,
+                        "live": int(A),
+                        "reps": R,
+                        "unsatisfied": int(n_unsat.sum()),
+                        "n_users": n,
+                    },
+                )
 
         done = n_unsat == 0
         if done.any():

@@ -40,6 +40,7 @@ from ..core.instance import Instance
 from ..core.protocols.base import Protocol
 from ..core.state import CACHE_STATS, State
 from ..obs import HUB as _OBS
+from ..obs.hub import HEARTBEAT_INTERVAL_S, PROGRESS_INTERVAL_S
 from .events import Event
 from .metrics import Recorder, Trajectory
 from .rng import make_rng
@@ -243,17 +244,41 @@ def run(
                 if recorder is not None:
                     recorder.record(round_index, state, outcome.n_moved, outcome.n_attempted)
 
-                if _OBS.active and _OBS.tick("round"):
-                    _OBS.event(
-                        "round",
-                        {
-                            "round": round_index,
-                            "moved": outcome.n_moved,
-                            "attempted": outcome.n_attempted,
-                            "messages": n_unsat_active * phases,
-                            "unsatisfied": state.n_unsatisfied,
-                        },
-                    )
+                if _OBS.active:
+                    if _OBS.tick("round"):
+                        _OBS.event(
+                            "round",
+                            {
+                                "round": round_index,
+                                "moved": outcome.n_moved,
+                                "attempted": outcome.n_attempted,
+                                "messages": n_unsat_active * phases,
+                                "unsatisfied": state.n_unsatisfied,
+                            },
+                        )
+                    # Liveness for the sweep coordinator: wall-clock
+                    # throttled, unaffected by round-event sampling, and
+                    # guaranteed at least once per enabled run.
+                    if _OBS.every("cell.heartbeat", HEARTBEAT_INTERVAL_S):
+                        _OBS.event(
+                            "cell.heartbeat",
+                            {
+                                "round": round_index,
+                                "unsatisfied": int(state.n_unsatisfied),
+                            },
+                        )
+                    if _OBS.every("cell.progress", PROGRESS_INTERVAL_S):
+                        _OBS.event(
+                            "cell.progress",
+                            {
+                                "round": round_index,
+                                "max_rounds": max_rounds,
+                                "unsatisfied": int(state.n_unsatisfied),
+                                "n_users": instance.n_users,
+                                "moves": total_moves,
+                                "messages": total_messages,
+                            },
+                        )
 
                 # -- quiescence ---------------------------------------------
                 if outcome.n_moved > 0:

@@ -1,5 +1,5 @@
 """Terminal visualisation: sparklines, line charts, histograms, bar charts."""
 
-from .ascii import bar_chart, histogram, line_chart, sparkline
+from .ascii import bar_chart, histogram, line_chart, progress_bar, sparkline
 
-__all__ = ["sparkline", "line_chart", "histogram", "bar_chart"]
+__all__ = ["sparkline", "line_chart", "histogram", "bar_chart", "progress_bar"]

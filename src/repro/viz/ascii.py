@@ -12,7 +12,7 @@ from typing import Sequence
 
 import numpy as np
 
-__all__ = ["sparkline", "line_chart", "histogram", "bar_chart"]
+__all__ = ["sparkline", "line_chart", "histogram", "bar_chart", "progress_bar"]
 
 _SPARK_LEVELS = "▁▂▃▄▅▆▇█"
 
@@ -24,23 +24,31 @@ def _finite(values) -> np.ndarray:
     return arr
 
 
-def sparkline(values: Sequence[float], *, lo: float | None = None, hi: float | None = None) -> str:
+def sparkline(
+    values: Sequence[float],
+    *,
+    lo: float | None = None,
+    hi: float | None = None,
+    gap: str = " ",
+) -> str:
     """One-line trend: ``sparkline([5,3,1,0]) -> '█▅▂▁'``.
 
-    NaNs render as spaces; a constant series renders at the lowest level.
-    ``lo``/``hi`` pin the scale (e.g. 0..1 for fractions across charts).
+    NaNs render as ``gap`` (a space by default; pass e.g. ``"·"`` to make
+    holes in a series visible); a constant series renders at the lowest
+    level.  ``lo``/``hi`` pin the scale (e.g. 0..1 for fractions across
+    charts).
     """
     arr = _finite(values)
     finite = arr[np.isfinite(arr)]
     if finite.size == 0:
-        return " " * arr.size
+        return gap * arr.size
     lo = float(np.min(finite)) if lo is None else float(lo)
     hi = float(np.max(finite)) if hi is None else float(hi)
     span = hi - lo
     out = []
     for v in arr:
         if not math.isfinite(v):
-            out.append(" ")
+            out.append(gap)
             continue
         if span <= 0:
             out.append(_SPARK_LEVELS[0])
@@ -48,6 +56,21 @@ def sparkline(values: Sequence[float], *, lo: float | None = None, hi: float | N
         idx = int((v - lo) / span * (len(_SPARK_LEVELS) - 1) + 0.5)
         out.append(_SPARK_LEVELS[max(0, min(idx, len(_SPARK_LEVELS) - 1))])
     return "".join(out)
+
+
+def progress_bar(fraction: float, *, width: int = 30) -> str:
+    """Bounded completion bar: ``progress_bar(0.5) -> '[███████████████···············]'``.
+
+    Non-finite fractions render as an all-gap bar (an unknown amount of
+    work, not zero work); finite input is clamped to [0, 1].
+    """
+    if width < 1:
+        raise ValueError("width must be positive")
+    if not math.isfinite(fraction):
+        return "[" + "·" * width + "]"
+    frac = max(0.0, min(1.0, float(fraction)))
+    filled = int(round(frac * width))
+    return "[" + "█" * filled + "·" * (width - filled) + "]"
 
 
 def line_chart(

@@ -360,7 +360,7 @@ def test_frozen_bench_engine_schema(bench_payload):
     for f in PROVENANCE_FIELDS:
         assert f in payload["provenance"]
     kinds = {c["kind"] for c in payload["cells"]}
-    assert kinds == {"engine", "replicate", "batched", "query", "runs", "obs"}
+    assert kinds == {"engine", "replicate", "batched", "query", "runs", "obs", "aggregate"}
     engine = next(c for c in payload["cells"] if c["kind"] == "engine")
     assert set(engine) >= {"name", "seconds", "rounds", "rounds_per_sec", "status"}
     batched = next(c for c in payload["cells"] if c["kind"] == "batched")
@@ -524,3 +524,289 @@ def test_trace_report_rejects_non_obs_file(tmp_path):
     other.write_text(json.dumps({"type": "x", "t": 0}) + "\n")
     with pytest.raises(ValueError):
         summarize_events(other)
+
+
+# -- aggregate: per-cell event files -> sweep timeline -------------------------
+
+
+KEY_A = "a" * 32
+KEY_B = "b" * 32
+
+
+def _write_cell_file(events_dir, key, records, torn=False):
+    events_dir.mkdir(parents=True, exist_ok=True)
+    path = events_dir / f"cell-{key}.jsonl"
+    with path.open("w") as fh:
+        for record in records:
+            fh.write(json.dumps(record) + "\n")
+        if torn:
+            fh.write('{"type": "round", "t": 9.0, "trunc')  # killed mid-write
+    return path
+
+
+def _closed_cell_records(label, base_t):
+    return [
+        {"type": "meta", "t": base_t, "schema": OBS_EVENTS_SCHEMA, "meta": {"label": label}},
+        {"type": "cell.heartbeat", "t": base_t + 1.0, "round": 5, "unsatisfied": 3},
+        {"type": "cell.progress", "t": base_t + 2.0, "round": 9, "max_rounds": 100},
+        {"type": "counters", "t": base_t + 3.0, "counters": {"engine.rounds": 9}},
+        {"type": "spans", "t": base_t + 3.0, "spans": {}},
+    ]
+
+
+def test_merge_events_sorts_annotates_and_tolerates_torn_lines(tmp_path):
+    from repro.obs import TIMELINE_NAME, merge_events
+
+    events_dir = tmp_path / "events"
+    _write_cell_file(events_dir, KEY_A, _closed_cell_records("cell-a", 10.0), torn=True)
+    _write_cell_file(
+        events_dir,
+        KEY_B,
+        [
+            {"type": "meta", "t": 10.5, "schema": OBS_EVENTS_SCHEMA, "meta": {"label": "cell-b"}},
+            {"type": "cell.heartbeat", "t": 11.5, "round": 2, "unsatisfied": 7},
+        ],
+    )
+    summary = merge_events(events_dir)
+    assert summary == {
+        "out": str(tmp_path / TIMELINE_NAME),
+        "cells": 2,
+        "records": 7,
+        "bad_lines": 1,
+    }
+    lines = [json.loads(line) for line in (tmp_path / TIMELINE_NAME).read_text().splitlines()]
+    header, records = lines[0], lines[1:]
+    assert header["schema"] == OBS_EVENTS_SCHEMA
+    assert header["meta"]["timeline"] is True
+    assert header["meta"]["cells"] == [KEY_A, KEY_B]
+    assert header["meta"]["bad_lines"] == 1
+    assert all(r["cell"] in (KEY_A, KEY_B) for r in records)
+    stamps = [(r["t"], r["cell"]) for r in records]
+    assert stamps == sorted(stamps)  # wall-clock order, key tie-break
+    assert not list(tmp_path.glob("*.tmp"))  # atomic: no partial file left
+
+
+def test_merge_events_is_safe_on_empty_or_missing_dir(tmp_path):
+    from repro.obs import merge_events
+
+    summary = merge_events(tmp_path / "events")  # never created
+    assert summary["cells"] == 0 and summary["records"] == 0
+    # the timeline still exists with a well-formed header
+    header = json.loads((tmp_path / "timeline.jsonl").read_text().splitlines()[0])
+    assert header["meta"]["cells"] == []
+
+
+def test_cell_digest_distinguishes_closed_from_live(tmp_path):
+    from repro.obs import cell_digest
+
+    events_dir = tmp_path / "events"
+    closed = _write_cell_file(events_dir, KEY_A, _closed_cell_records("cell-a", 10.0))
+    live = _write_cell_file(
+        events_dir,
+        KEY_B,
+        [
+            {"type": "meta", "t": 20.0, "schema": OBS_EVENTS_SCHEMA, "meta": {"label": "cell-b"}},
+            {"type": "cell.heartbeat", "t": 21.0, "round": 2, "unsatisfied": 7},
+        ],
+        torn=True,
+    )
+    a = cell_digest(closed)
+    assert a["cell"] == KEY_A and a["closed"] and a["label"] == "cell-a"
+    assert a["last_heartbeat"]["round"] == 5
+    assert a["last_progress"]["max_rounds"] == 100
+    assert (a["first_t"], a["last_t"]) == (10.0, 13.0)
+    b = cell_digest(live)
+    assert not b["closed"] and b["last_t"] == 21.0 and b["bad_lines"] == 1
+
+
+# -- obs-events/v1 forward compatibility ---------------------------------------
+
+
+def test_readers_skip_unknown_future_event_kinds(tmp_path, small_uniform):
+    """Additive schema: records of kinds this version never wrote must be
+    carried through (merge) and digested around (digest, report), never
+    crash a reader."""
+    from repro.obs import cell_digest, merge_events, read_events
+
+    future = {"type": "cell.gpu_util/v9", "t": 12.5, "util": 0.87, "device": ["cuda:0"]}
+    events_dir = tmp_path / "events"
+    path = _write_cell_file(
+        events_dir, KEY_A, _closed_cell_records("cell-a", 10.0)[:3] + [future]
+    )
+    records, bad = read_events(path)
+    assert bad == 0 and future["type"] in {r["type"] for r in records}
+    digest = cell_digest(path)
+    assert digest["last_t"] == 12.5  # unknown kinds still date liveness
+    assert not digest["closed"]
+    summary = merge_events(events_dir)
+    assert summary["records"] == 4  # carried through, not dropped
+    merged = [json.loads(x) for x in (tmp_path / "timeline.jsonl").read_text().splitlines()]
+    assert any(r.get("type") == "cell.gpu_util/v9" for r in merged)
+
+    # trace-report over a real run with an injected future kind still sums
+    run_file = _run_instrumented(tmp_path, small_uniform)
+    lines = run_file.read_text().splitlines()
+    lines.insert(2, json.dumps(future))
+    spiked = tmp_path / "spiked.jsonl"
+    spiked.write_text("\n".join(lines) + "\n")
+    report = summarize_events(spiked)
+    assert report["complete"]
+    assert report["counters"]["engine.runs"] == 1
+
+
+# -- perf-regression gate ------------------------------------------------------
+
+
+def test_gate_flags_20pct_regression(tmp_path):
+    from repro.obs import GATE_SCHEMA, gate, render_gate
+
+    a = _synthetic_bench(tmp_path / "a.json", 100.0, 1000.0)
+    b = _synthetic_bench(tmp_path / "b.json", 200.0, 780.0)  # 22% throughput drop
+    result = gate([a, b])
+    assert result["schema"] == GATE_SCHEMA == "bench-gate/v1"
+    assert result["verdict"] == "regressed"
+    assert result["regressed"] == ["unit/sampling/sync"]
+    assert result["candidate"] == str(b)
+    cell = next(c for c in result["cells"] if c["name"] == "unit/sampling/sync")
+    assert cell["ratio"] == pytest.approx(0.78)
+    text = render_gate(result)
+    assert "REGRESSED" in text and "unit/sampling/sync" in text
+
+
+def test_gate_ok_on_unchanged_history(tmp_path):
+    from repro.obs import gate
+
+    a = _synthetic_bench(tmp_path / "a.json", 100.0, 1000.0)
+    b = _synthetic_bench(tmp_path / "b.json", 200.0, 1000.0)
+    result = gate([a, b])
+    assert result["verdict"] == "ok" and result["regressed"] == []
+    # small wiggle inside the default 10% band is also ok
+    c = _synthetic_bench(tmp_path / "c.json", 300.0, 950.0)
+    assert gate([a, b, c])["verdict"] == "ok"
+    # a big jump upward is improvement, not regression
+    d = _synthetic_bench(tmp_path / "d.json", 400.0, 1500.0)
+    up = gate([a, b, d])
+    assert up["verdict"] == "ok" and "unit/sampling/sync" in up["improved"]
+
+
+def test_gate_noisy_baseline_widens_band(tmp_path):
+    from repro.obs import gate
+
+    # baseline rel-std ~18% -> effective band ~54%, so a 25% drop is ok
+    paths = [
+        _synthetic_bench(tmp_path / f"{i}.json", float(i), rps)
+        for i, rps in enumerate([800.0, 1000.0, 1200.0])
+    ]
+    paths.append(_synthetic_bench(tmp_path / "cand.json", 10.0, 750.0))
+    result = gate(paths)
+    cell = next(c for c in result["cells"] if c["name"] == "unit/sampling/sync")
+    assert cell["band"] > 0.10
+    assert cell["verdict"] == "ok"
+
+
+def test_gate_holes_nans_and_zero_centers_do_not_crash(tmp_path):
+    from repro.obs import gate
+
+    # hole: the query cell is missing from the candidate -> no-data
+    a = _synthetic_bench(tmp_path / "a.json", 100.0, 1000.0)
+    payload = json.loads(a.read_text())
+    payload["created_unix"] = 200.0
+    payload["cells"] = [c for c in payload["cells"] if c["kind"] == "engine"]
+    hole = tmp_path / "hole.json"
+    hole.write_text(json.dumps(payload))
+    result = gate([a, hole])
+    query = next(c for c in result["cells"] if c["kind"] == "query")
+    assert query["verdict"] == "no-data"
+    assert result["verdict"] == "ok"  # missing data is not a regression
+
+    # zero-throughput baseline admits no ratio -> no-baseline
+    z0 = _synthetic_bench(tmp_path / "z0.json", 100.0, 0.0)
+    z1 = _synthetic_bench(tmp_path / "z1.json", 200.0, 500.0)
+    zero = gate([z0, z1])
+    engine = next(c for c in zero["cells"] if c["kind"] == "engine")
+    assert engine["verdict"] == "no-baseline"
+
+    # single artifact: everything is no-baseline, overall ok
+    solo = gate([a])
+    assert solo["verdict"] == "ok"
+    assert {c["verdict"] for c in solo["cells"]} == {"no-baseline"}
+
+
+def test_trend_renders_gap_markers_for_holes(tmp_path):
+    a = _synthetic_bench(tmp_path / "a.json", 100.0, 1000.0)
+    payload = json.loads(a.read_text())
+    payload["created_unix"] = 50.0
+    payload["cells"] = [c for c in payload["cells"] if c["kind"] == "engine"]
+    older = tmp_path / "older.json"
+    older.write_text(json.dumps(payload))
+    text = render_trend([a, older])
+    line = next(ln for ln in text.splitlines() if "query/satisfied_mask" in ln)
+    assert "·" in line  # hole-punched history renders a gap, not a crash
+
+
+# -- profile report ------------------------------------------------------------
+
+
+def _dump_profile(path):
+    import cProfile
+
+    profile = cProfile.Profile()
+    profile.enable()
+    json.dumps({"k": list(range(200))})
+    sorted(range(500), key=lambda x: -x)
+    profile.disable()
+    profile.dump_stats(path)
+    return path
+
+
+def test_profile_rows_fold_and_rank(tmp_path):
+    from repro.obs import profile_rows, render_profiles
+
+    one = _dump_profile(tmp_path / "cell-aa.pstats")
+    rows = profile_rows(one, top=5)
+    assert 0 < len(rows) <= 5
+    for row in rows:
+        assert set(row) >= {"function", "location", "ncalls", "tottime", "cumtime"}
+    assert rows == sorted(rows, key=lambda r: -r["cumtime"])
+
+    # directory mode folds every .pstats into one ranking
+    _dump_profile(tmp_path / "cell-bb.pstats")
+    folded = profile_rows(tmp_path, top=5)
+    assert folded and folded[0]["ncalls"] >= rows[0]["ncalls"]
+    text = render_profiles(tmp_path, top=5)
+    assert "cumtime" in text and "dumps" in text
+
+
+def test_profile_rows_on_missing_path_raises(tmp_path):
+    from repro.obs import profile_rows
+
+    with pytest.raises((FileNotFoundError, ValueError)):
+        profile_rows(tmp_path / "nope.pstats")
+
+
+# -- bench aggregate cell ------------------------------------------------------
+
+
+def test_frozen_bench_aggregate_cell(bench_payload):
+    payload, _ = bench_payload
+    agg = next(c for c in payload["cells"] if c["kind"] == "aggregate")
+    assert set(agg) >= {
+        "name",
+        "cells",
+        "records",
+        "bad_lines",
+        "seconds",
+        "events_per_sec",
+        "per_event_cost_us",
+    }
+    assert agg["name"] == "obs/aggregate"
+    assert agg["cells"] == 200 and agg["records"] > agg["cells"]
+    assert agg["bad_lines"] == 1  # the injected torn line is tolerated on the timed path
+
+
+def test_aggregate_cell_within_budget(bench_payload):
+    """Merging must stay cheap enough to run after every sweep: <= 50us/event."""
+    payload, _ = bench_payload
+    agg = next(c for c in payload["cells"] if c["kind"] == "aggregate")
+    assert agg["per_event_cost_us"] <= 50.0
+    assert agg["events_per_sec"] > 0

@@ -133,6 +133,74 @@ def test_frozen_runs_cell_schema(tmp_path):
     assert store.get(payload["key"]) == json.loads(json.dumps(payload))
 
 
+def test_telemetry_block_is_additive_and_pinned(tmp_path):
+    """The optional telemetry block: frozen keys, same cache key, no effect
+    on readers that predate it."""
+    from repro.runs.store import TELEMETRY_FIELDS, results_from_payload
+
+    cell = tiny_cell()
+    results = cell.run()
+    telemetry = {name: 0 for name in TELEMETRY_FIELDS}
+    payload = build_payload(cell, results, duration_s=0.5, telemetry=telemetry)
+    # Additive: exactly one extra key vs the frozen base schema.
+    assert set(payload) == {
+        "schema", "key", "cell", "results", "duration_s", "provenance", "telemetry"
+    }
+    assert set(payload["telemetry"]) == set(TELEMETRY_FIELDS)
+    # Provenance, not results: the cache key ignores it entirely.
+    assert payload["key"] == build_payload(cell, results, duration_s=0.5)["key"]
+    # Readers reconstruct results identically with or without the block.
+    assert [r.rounds for r in results_from_payload(payload)] == [r.rounds for r in results]
+    store = ResultStore(tmp_path)
+    store.put(payload)
+    assert store.get(payload["key"])["telemetry"] == telemetry
+
+
+def test_executed_cell_records_resource_profile():
+    """execute_cell always attaches the telemetry block (hub-independent)."""
+    from repro.runs.scheduler import execute_cell
+    from repro.runs.store import TELEMETRY_FIELDS
+
+    # Serial backend: the scalar engine exercises the state cache, making
+    # the hit/miss deltas assertable.
+    payload = execute_cell(tiny_cell(), None, 0.0, "serial")
+    telemetry = payload["telemetry"]
+    assert set(telemetry) == set(TELEMETRY_FIELDS)
+    assert telemetry["wall_s"] > 0
+    assert telemetry["cpu_user_s"] >= 0
+    assert telemetry["max_rss_bytes"] > 0
+    assert telemetry["rounds"] == sum(r["rounds"] for r in payload["results"])
+    assert telemetry["cache_misses"] > 0  # the run exercised the state cache
+    # No events_dir / profile_dir: the opt-in fields stay None.
+    assert telemetry["events_file"] is None
+    assert telemetry["profile_file"] is None
+    assert telemetry["peak_traced_bytes"] is None
+
+
+def test_executed_cell_ships_events_and_profile(tmp_path):
+    """events_dir/profile_dir produce the per-cell JSONL sink (with at
+    least one heartbeat) and the .pstats profile."""
+    from repro.obs.aggregate import cell_digest
+    from repro.runs.scheduler import execute_cell
+
+    cell = tiny_cell()
+    events_dir = tmp_path / "events"
+    profile_dir = tmp_path / "profiles"
+    payload = execute_cell(cell, None, 0.0, None, str(events_dir), str(profile_dir))
+    key = payload["key"]
+    events_path = events_dir / f"cell-{key}.jsonl"
+    assert events_path.exists()
+    assert payload["telemetry"]["events_file"] == events_path.name
+    digest = cell_digest(events_path)
+    assert digest["cell"] == key
+    assert digest["closed"]  # clean disable wrote the summary lines
+    assert digest["last_heartbeat"] is not None  # first heartbeat always fires
+    profile_path = profile_dir / f"cell-{key}.pstats"
+    assert profile_path.exists()
+    assert payload["telemetry"]["profile_file"] == profile_path.name
+    assert payload["telemetry"]["peak_traced_bytes"] > 0
+
+
 def test_store_round_trip_reconstructs_results(tmp_path):
     cell = tiny_cell()
     results = cell.run()
@@ -356,6 +424,8 @@ def test_second_identical_sweep_is_pure_cache_hits_and_bit_identical(tmp_path):
         pa, pb = store_a.get(key), store_b.get(key)
         pa.pop("provenance"), pb.pop("provenance")
         pa.pop("duration_s"), pb.pop("duration_s")
+        # telemetry is per-execution provenance (wall clocks, rusage), not results
+        pa.pop("telemetry", None), pb.pop("telemetry", None)
         assert pa == pb  # bit-identical modulo provenance/wall-clock
 
 
@@ -412,6 +482,229 @@ def test_experiment_render_after_sweep_is_pure_cache_hits(tmp_path):
         assert HUB.counters.get("experiments.cells_cached") == 3
         assert "experiments.cells" not in HUB.counters  # nothing simulated
     assert result.experiment_id == "F1"
+
+
+# -- sweep telemetry surfacing -------------------------------------------------
+
+
+def test_sweep_status_surfaces_telemetry(tmp_path):
+    out = tmp_path / "sweep"
+    run_sweep(["F1"], out=out, workers=0, timeout=None, overrides=F1_OVERRIDES)
+    status = sweep_status(out)
+    telemetry = status["telemetry"]
+    assert telemetry["cells_with_telemetry"] == 3
+    assert telemetry["wall_s"] > 0 and telemetry["cpu_user_s"] >= 0
+    # batched-backend cells bypass the scalar cache; counters fold to ints
+    assert telemetry["cache_misses"] >= 0 and telemetry["cache_hits"] >= 0
+    assert telemetry["rounds"] > 0
+    slowest = telemetry["slowest"]
+    assert 1 <= len(slowest) <= 5
+    assert slowest == sorted(slowest, key=lambda s: -s["wall_s"])
+    assert {"key", "experiment_id", "label", "wall_s"} <= set(slowest[0])
+    text = render_status(status)
+    assert "telemetry" in text and "slow" in text
+
+
+def test_sweep_ships_events_and_merges_timeline(tmp_path):
+    from repro.obs import cell_digest, cell_event_files
+
+    out = tmp_path / "sweep"
+    summary = run_sweep(["F1"], out=out, workers=0, timeout=None, overrides=F1_OVERRIDES)
+    assert summary["timeline"]["cells"] == 3
+    assert (out / "timeline.jsonl").exists()
+    files = cell_event_files(out / "events")
+    assert len(files) == 3
+    for path in files:
+        digest = cell_digest(path)
+        assert digest["closed"]  # worker disabled its sink cleanly
+        assert digest["last_heartbeat"] is not None  # >= 1 heartbeat per cell
+    # a cached re-run executes nothing, but still refreshes the timeline
+    again = run_sweep(["F1"], out=out, workers=0, timeout=None, overrides=F1_OVERRIDES)
+    assert again["cached"] == 3 and again["timeline"]["cells"] == 3
+
+
+def test_sweep_no_events_flag_skips_shipping(tmp_path):
+    out = tmp_path / "sweep"
+    summary = run_sweep(
+        ["F1"], out=out, workers=0, timeout=None, overrides=F1_OVERRIDES, events=False
+    )
+    assert "timeline" not in summary
+    assert not (out / "events").exists()
+    assert not (out / "timeline.jsonl").exists()
+
+
+def test_resume_reuses_journalled_events_and_profile_config(tmp_path):
+    out = tmp_path / "sweep"
+    run_sweep(
+        ["F1"],
+        out=out,
+        workers=0,
+        timeout=None,
+        max_cells=1,
+        overrides=F1_OVERRIDES,
+        profile=True,
+    )
+    config = read_journal(out / "journal.jsonl")["meta"]["sweep"]
+    assert config["events"] is True and config["profile"] is True
+    resumed = resume_sweep(out, timeout=None)
+    assert resumed["run"] == 2 and resumed["timeline"]["cells"] == 3
+    from repro.obs import cell_event_files
+
+    assert len(cell_event_files(out / "events")) == 3  # resume kept shipping
+    assert len(list((out / "profiles").glob("*.pstats"))) == 3  # and profiling
+
+
+# -- fork/spawn hygiene --------------------------------------------------------
+
+
+def _probe_child_hub(queue):
+    from repro.obs import HUB
+
+    queue.put({"active": HUB.active, "has_sink": HUB._sink is not None})
+
+
+@pytest.mark.skipif(not hasattr(os, "register_at_fork"), reason="needs POSIX fork hooks")
+def test_forked_worker_starts_with_disarmed_hub(tmp_path):
+    """A fork-started worker must never inherit the parent's enabled sink:
+    anything it logged would interleave with the parent's event file."""
+    import multiprocessing as mp
+
+    from repro.obs import HUB
+
+    if HUB.active:  # residue from other modules
+        HUB.disable()
+    ctx = mp.get_context("fork")
+    sink = tmp_path / "parent.jsonl"
+    with HUB.enabled(sink, label="parent"):
+        queue = ctx.Queue()
+        child = ctx.Process(target=_probe_child_hub, args=(queue,))
+        child.start()
+        seen = queue.get(timeout=30)
+        child.join(timeout=30)
+        assert seen == {"active": False, "has_sink": False}
+        assert HUB.active  # the parent's hub is untouched
+    # exactly one meta header and one summary: the child appended nothing
+    lines = [json.loads(x) for x in sink.read_text().splitlines()]
+    assert sum(1 for r in lines if r["type"] == "meta") == 1
+    assert sum(1 for r in lines if r["type"] == "counters") == 1
+
+
+def test_spawned_worker_starts_with_disarmed_hub(tmp_path):
+    import multiprocessing as mp
+
+    from repro.obs import HUB
+
+    if HUB.active:
+        HUB.disable()
+    try:
+        ctx = mp.get_context("spawn")
+    except ValueError:  # pragma: no cover - platform without spawn
+        pytest.skip("spawn start method unavailable")
+    with HUB.enabled(tmp_path / "parent.jsonl", label="parent"):
+        queue = ctx.Queue()
+        child = ctx.Process(target=_probe_child_hub, args=(queue,))
+        child.start()
+        seen = queue.get(timeout=60)
+        child.join(timeout=60)
+    assert seen == {"active": False, "has_sink": False}
+
+
+def test_parallel_sweep_keeps_per_cell_files_disjoint(tmp_path):
+    """Each worker writes only its own cell's file — every per-cell file
+    holds exactly one meta header and one clean close, fork or not."""
+    from repro.obs import cell_event_files, read_events
+
+    out = tmp_path / "sweep"
+    run_sweep(["F1"], out=out, workers=2, timeout=None, overrides=F1_OVERRIDES)
+    files = cell_event_files(out / "events")
+    assert len(files) == 3
+    for path in files:
+        records, bad = read_events(path)
+        assert bad == 0
+        metas = [r for r in records if r["type"] == "meta"]
+        assert len(metas) == 1  # no interleaving from another process
+        assert sum(1 for r in records if r["type"] == "counters") == 1
+
+
+# -- live dashboard ------------------------------------------------------------
+
+
+def test_watch_snapshot_and_render_after_completion(tmp_path):
+    from repro.runs import render_watch, sweep_snapshot, watch
+
+    out = tmp_path / "sweep"
+    run_sweep(["F1"], out=out, workers=0, timeout=None, overrides=F1_OVERRIDES)
+    snapshot = sweep_snapshot(out)
+    assert snapshot["complete"] and snapshot["total"] == snapshot["done"] == 3
+    assert snapshot["counts"] == {"finished": 3, "failed": 0, "running": 0, "pending": 0}
+    assert snapshot["eta_s"] is None  # nothing remaining
+    text = render_watch(snapshot)
+    assert "complete" in text and "3/3 cells" in text
+    assert "slowest finished cells" in text
+
+    frames = []
+    assert watch(out, once=True, _print=frames.append) == 0
+    assert frames and "sweep watch" in frames[0]
+
+
+def test_watch_snapshot_mid_flight(tmp_path):
+    """A snapshot taken while a worker is mid-cell: journal says started,
+    the event file supplies heartbeat age and round progress — even with
+    the latest line torn by the in-flight write."""
+    import json as _json
+
+    from repro.runs import render_watch, sweep_snapshot
+
+    out = tmp_path / "sweep"
+    key_run, key_pend = "c" * 32, "d" * 32
+    with Journal(out / "journal.jsonl", sweep={"workers": 2}) as journal:
+        for key in (key_run, key_pend):
+            journal.append("scheduled", key=key, experiment_id="F1", label=f"n={key[0]}")
+        journal.append("started", key=key_run, experiment_id="F1", label="n=c")
+
+    events = out / "events"
+    events.mkdir()
+    base_t = 1_000.0
+    with (events / f"cell-{key_run}.jsonl").open("w") as fh:
+        fh.write(_json.dumps({"type": "meta", "t": base_t, "meta": {"label": "n=c"}}) + "\n")
+        fh.write(
+            _json.dumps(
+                {"type": "cell.progress", "t": base_t + 4.0, "round": 25, "max_rounds": 100}
+            )
+            + "\n"
+        )
+        fh.write(_json.dumps({"type": "cell.heartbeat", "t": base_t + 5.0, "round": 26}) + "\n")
+        fh.write('{"type": "round", "t": 10')  # torn in-flight line
+
+    snapshot = sweep_snapshot(out, now=base_t + 7.0)
+    assert snapshot["counts"]["running"] == 1 and snapshot["counts"]["pending"] == 1
+    assert not snapshot["complete"]
+    running = next(c for c in snapshot["cells"] if c["state"] == "running")
+    assert running["heartbeat_age"] == pytest.approx(2.0)
+    assert running["progress"] == pytest.approx(0.25)
+    assert running["rounds"] == 25
+    text = render_watch(snapshot)
+    assert "running cells" in text and "n=c" in text
+
+
+def test_watch_flags_failures_and_returns_nonzero(tmp_path):
+    from repro.runs import watch
+
+    out = tmp_path / "sweep"
+    with Journal(out / "journal.jsonl", sweep={"workers": 1}) as journal:
+        journal.append("scheduled", key="e" * 32, experiment_id="F1", label="boom")
+        journal.append("failed", key="e" * 32, experiment_id="F1", label="boom", error="X")
+
+    frames = []
+    assert watch(out, once=True, _print=frames.append) == 1
+    assert "failed cells" in frames[0] and "boom" in frames[0]
+
+
+def test_watch_requires_a_journal(tmp_path):
+    from repro.runs import sweep_snapshot
+
+    with pytest.raises((FileNotFoundError, OSError)):
+        sweep_snapshot(tmp_path / "nowhere")
 
 
 # -- the 2-worker speedup claim (needs real cores) -----------------------------

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.viz import bar_chart, histogram, line_chart, sparkline
+from repro.viz import bar_chart, histogram, line_chart, progress_bar, sparkline
 
 
 class TestSparkline:
@@ -26,6 +26,27 @@ class TestSparkline:
     def test_empty_rejected(self):
         with pytest.raises(ValueError):
             sparkline([])
+
+    def test_gap_glyph_marks_holes(self):
+        s = sparkline([1.0, float("nan"), 3.0], gap="·")
+        assert s[1] == "·" and len(s) == 3
+
+    def test_all_nan_is_all_gaps(self):
+        assert sparkline([float("nan")] * 4, gap="·") == "····"
+
+
+class TestProgressBar:
+    def test_empty_and_full(self):
+        assert progress_bar(0.0, width=10) == "[··········]"
+        assert progress_bar(1.0, width=10) == "[" + "█" * 10 + "]"
+
+    def test_partial_and_clamped(self):
+        assert progress_bar(0.5, width=10).count("█") == 5
+        assert progress_bar(2.5, width=8) == "[" + "█" * 8 + "]"
+        assert progress_bar(-1.0, width=8) == "[" + "·" * 8 + "]"
+
+    def test_nan_renders_unknown(self):
+        assert progress_bar(float("nan"), width=6) == "[" + "·" * 6 + "]"
 
 
 class TestLineChart:
