@@ -9,6 +9,10 @@ Installed as ``repro-qoslb`` (also ``python -m repro``)::
         --gen-arg m=64 --gen-arg slack=0.25 --protocol permit --seed 7
     repro-qoslb fluid --n 100000 --m 64      # mean-field trajectory forecast
     repro-qoslb churn --rho 0.9              # steady-state QoS under churn
+    repro-qoslb sweep F1 --serve 0.0.0.0:7341 --out sweep/   # coordinator
+    repro-qoslb runs worker --connect host:7341              # remote worker
+    repro-qoslb run F1 --store sweep/store --render-only     # figures, no compute
+    repro-qoslb runs gc sweep/ --max-age 30 --max-bytes 512M # LRU store pruning
     repro-qoslb bench --scale smoke          # perf harness -> BENCH_engine.json
     repro-qoslb trend BENCH_*.json           # perf trend across bench artifacts
     repro-qoslb trend bench-history/ --gate  # statistical perf-regression verdict
@@ -78,7 +82,7 @@ def _save_result(result, out_dir: Path, scale: str) -> None:
     print(f"[saved {stem}.txt / .json]")
 
 
-def _store_context(store_arg: str | None):
+def _store_context(store_arg: str | None, *, render_only: bool = False):
     """Activate the content-addressed cell store for ``run``/``all``."""
     from contextlib import nullcontext
 
@@ -86,13 +90,16 @@ def _store_context(store_arg: str | None):
         return nullcontext()
     from .runs.store import use_store
 
-    return use_store(store_arg)
+    return use_store(store_arg, render_only=render_only)
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
     from .experiments import run_experiment
+    from .runs.store import MissingCellError
     from .sim.parallel import set_default_backend
 
+    if args.render_only and not args.store:
+        raise SystemExit("--render-only needs --store DIR (the sweep store to render from)")
     overrides = _kv_args(args.set or [])
     if args.workers is not None:
         overrides.setdefault("workers", args.workers)
@@ -101,8 +108,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
         # without threading a knob through each runner signature.
         set_default_backend(args.backend)
     started = time.time()
-    with _store_context(args.store):
-        result = run_experiment(args.experiment, args.scale, **overrides)
+    try:
+        with _store_context(args.store, render_only=args.render_only):
+            result = run_experiment(args.experiment, args.scale, **overrides)
+    except MissingCellError as exc:
+        raise SystemExit(f"render-only: {exc.args[0]}") from exc
     print(result.render())
     print(f"[{time.time() - started:.1f}s]")
     if args.out:
@@ -159,6 +169,65 @@ def _sweep_overrides(pairs: list[str]) -> tuple[dict, dict]:
     return shared, per_exp
 
 
+def _serve_sweep_cli(args: argparse.Namespace, *, timeout, retries) -> dict:
+    """The ``sweep --serve`` path: coordinate over TCP instead of a pool."""
+    from .runs import DEFAULT_LEASE_TTL_S, read_journal, serve_sweep, sweepable_experiments
+    from .runs.net import parse_address
+
+    if args.profile:
+        raise SystemExit("--serve cannot --profile: cells execute on remote workers")
+    if args.max_cells is not None:
+        raise SystemExit("--serve runs the sweep to completion; drop --max-cells")
+    if args.workers is not None:
+        raise SystemExit("--serve leases cells to network workers; drop --workers")
+    host, port = parse_address(args.serve, default_host="0.0.0.0")
+    if args.resume:
+        # Coordinator restart: re-serve the journalled configuration from
+        # the same sweep dir — committed cells are cache hits.
+        if args.experiments or args.set or args.backend is not None or args.no_events:
+            raise SystemExit(
+                "--resume reuses the journalled configuration; drop the "
+                "experiment ids / --set / --backend / --no-events overrides"
+            )
+        config = read_journal(Path(args.resume) / "journal.jsonl")["meta"].get("sweep")
+        if not config:
+            raise SystemExit(f"no journalled sweep configuration under {args.resume}")
+        out = args.resume
+        ids = config.get("experiments") or sweepable_experiments()
+        scale = config.get("scale", "ci")
+        overrides = config.get("overrides") or {}
+        backend = config.get("backend")
+        events = bool(config.get("events", True))
+    else:
+        shared, per_exp = _sweep_overrides(args.set or [])
+        ids = [e.upper() for e in args.experiments] or sweepable_experiments()
+        overrides = {eid: {**shared, **per_exp.get(eid, {})} for eid in ids}
+        unknown = set(per_exp) - set(ids)
+        if unknown:
+            raise SystemExit(f"--set targets experiments not in this sweep: {sorted(unknown)}")
+        out, scale, backend, events = args.out, args.scale, args.backend, not args.no_events
+    return serve_sweep(
+        ids,
+        out=out,
+        host=host,
+        port=port,
+        scale=scale,
+        overrides=overrides,
+        retries=retries,
+        timeout=timeout,
+        lease_ttl_s=DEFAULT_LEASE_TTL_S if args.lease_ttl is None else args.lease_ttl,
+        backend=backend,
+        events=events,
+        force=args.force,
+        on_listen=lambda addr: print(
+            f"[serving runs-net/v1 on {addr[0]}:{addr[1]} — connect workers with "
+            f"`repro-qoslb runs worker --connect HOST:{addr[1]}`]",
+            file=sys.stderr,
+            flush=True,
+        ),
+    )
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from .obs import HUB
     from .runs import (
@@ -174,7 +243,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.obs_out:
         HUB.enable(args.obs_out, command="sweep")
     try:
-        if args.resume:
+        if args.serve:
+            summary = _serve_sweep_cli(args, timeout=timeout, retries=retries)
+        elif args.resume:
             if args.experiments or args.set or args.backend is not None or args.no_events or args.profile:
                 raise SystemExit(
                     "--resume reuses the journalled configuration; drop the "
@@ -217,6 +288,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         f"{summary['failed']} failed, {summary['deferred']} deferred "
         f"[{summary['wall_s']:.1f}s]"
     )
+    if "served" in summary:
+        print(
+            f"[served on {summary['served']['host']}:{summary['served']['port']}: "
+            f"{summary['workers']} worker(s), {summary['lease_expiries']} lease "
+            f"expiry(ies), {summary['bad_frames']} bad frame(s)]"
+        )
     timeline = summary.get("timeline")
     if timeline:
         print(
@@ -263,19 +340,62 @@ def _cmd_runs_watch(args: argparse.Namespace) -> int:
         return 0
 
 
+def _parse_bytes(text: str) -> int:
+    """``"512M"``-style size: plain bytes or a K/M/G-suffixed count."""
+    text = text.strip()
+    scale = {"K": 2**10, "M": 2**20, "G": 2**30}.get(text[-1:].upper())
+    try:
+        if scale is not None:
+            return int(float(text[:-1]) * scale)
+        return int(text)
+    except ValueError:
+        raise SystemExit(f"expected a byte count like 1048576 or 512M, got {text!r}")
+
+
 def _cmd_runs_gc(args: argparse.Namespace) -> int:
     from .runs import ResultStore
 
-    report = ResultStore(_runs_store_dir(args.dir)).gc(
-        all_versions=args.all_versions, dry_run=args.dry_run
-    )
-    verb = "would remove" if report["dry_run"] else "removed"
-    print(
-        f"gc {args.dir}: kept {report['kept']}, {verb} {report['removed']} "
-        f"payload(s) ({report['freed_bytes']} bytes)"
-    )
+    store = ResultStore(_runs_store_dir(args.dir))
+    if args.max_age is not None or args.max_bytes is not None:
+        report = store.prune(
+            max_age_s=None if args.max_age is None else args.max_age * 86400.0,
+            max_bytes=None if args.max_bytes is None else _parse_bytes(args.max_bytes),
+            dry_run=args.dry_run,
+        )
+        verb = "would evict" if report["dry_run"] else "evicted"
+        print(
+            f"gc {args.dir}: kept {report['kept']} ({report['kept_bytes']} bytes), "
+            f"{verb} {report['removed']} LRU payload(s) ({report['freed_bytes']} bytes)"
+        )
+    else:
+        report = store.gc(all_versions=args.all_versions, dry_run=args.dry_run)
+        verb = "would remove" if report["dry_run"] else "removed"
+        print(
+            f"gc {args.dir}: kept {report['kept']}, {verb} {report['removed']} "
+            f"payload(s) ({report['freed_bytes']} bytes)"
+        )
     for key in report["removed_keys"]:
         print(f"  - {key}")
+    return 0
+
+
+def _cmd_runs_worker(args: argparse.Namespace) -> int:
+    from .runs import run_worker
+
+    try:
+        report = run_worker(
+            args.connect,
+            backend=args.backend,
+            poll=args.poll,
+            max_cells=args.max_cells,
+        )
+    except (ConnectionError, OSError) as exc:
+        print(f"worker: lost coordinator at {args.connect}: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"worker {report['worker']} @ {report['host']}:{report['port']}: "
+        f"{report['executed']} cell(s) executed, {report['failed']} failed"
+    )
     return 0
 
 
@@ -487,6 +607,12 @@ def main(argv: list[str] | None = None) -> int:
         metavar="DIR",
         help="content-addressed cell store: reuse cached cells, save new ones",
     )
+    p_run.add_argument(
+        "--render-only",
+        action="store_true",
+        help="render strictly from --store: a missing cell fails loudly "
+        "instead of silently recomputing",
+    )
     p_run.set_defaults(fn=_cmd_run)
 
     p_all = sub.add_parser("all", help="run the whole suite")
@@ -562,6 +688,21 @@ def main(argv: list[str] | None = None) -> int:
         help="cProfile every cell into <out>/profiles/*.pstats "
         "(view with trace-report --top-functions)",
     )
+    p_sweep.add_argument(
+        "--serve",
+        metavar="[HOST:]PORT",
+        help="coordinate this sweep over TCP (runs-net/v1) instead of a local "
+        "pool: lease cells to `runs worker --connect` processes until complete "
+        "(with --resume: re-serve an interrupted distributed sweep)",
+    )
+    p_sweep.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="reclaim a leased cell after this long without a heartbeat "
+        "(--serve only; default 30)",
+    )
     p_sweep.set_defaults(fn=_cmd_sweep)
 
     p_runs = sub.add_parser("runs", help="inspect and maintain sweep directories")
@@ -587,7 +728,9 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_watch.set_defaults(fn=_cmd_runs_watch)
     p_gc = runs_sub.add_parser(
-        "gc", help="drop stale store payloads (other versions, corrupt files)"
+        "gc",
+        help="drop stale store payloads (other versions, corrupt files); "
+        "with --max-age/--max-bytes, evict least-recently-used cells instead",
     )
     p_gc.add_argument("dir", help="sweep directory or bare store directory")
     p_gc.add_argument(
@@ -595,8 +738,49 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="remove every payload, current version included (full cache wipe)",
     )
+    p_gc.add_argument(
+        "--max-age",
+        type=float,
+        default=None,
+        metavar="DAYS",
+        help="evict payloads not consulted for this many days",
+    )
+    p_gc.add_argument(
+        "--max-bytes",
+        default=None,
+        metavar="N",
+        help="evict coldest payloads until the store fits this budget "
+        "(plain bytes or K/M/G-suffixed, e.g. 512M)",
+    )
     p_gc.add_argument("--dry-run", action="store_true")
     p_gc.set_defaults(fn=_cmd_runs_gc)
+    p_worker = runs_sub.add_parser(
+        "worker",
+        help="execute leased cells from a `sweep --serve` coordinator over TCP",
+    )
+    p_worker.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="the coordinator's runs-net/v1 address",
+    )
+    p_worker.add_argument(
+        "--backend",
+        choices=("auto", "batched", "serial"),
+        default=None,
+        help="override the coordinator's replication engine for this worker "
+        "(payloads are backend-agnostic)",
+    )
+    p_worker.add_argument(
+        "--poll",
+        type=float,
+        default=0.5,
+        help="idle re-ask period while other workers hold the last leases",
+    )
+    p_worker.add_argument(
+        "--max-cells", type=int, default=None, help="disconnect after this many cells"
+    )
+    p_worker.set_defaults(fn=_cmd_runs_worker)
 
     p_sim = sub.add_parser("simulate", help="one ad-hoc simulation run")
     p_sim.add_argument("--generator", required=True)

@@ -19,7 +19,7 @@ import numpy as np
 from ..analysis.stats import summarize
 from ..analysis.tables import render_table
 from ..obs import HUB as _OBS
-from ..runs.store import CellSpec, active_store
+from ..runs.store import CellSpec, active_store, render_only_active
 from ..sim.engine import RunResult
 from ..sim.parallel import RunSpec, replicate
 
@@ -208,6 +208,14 @@ def cell(
                     {"label": label, "protocol": protocol, "n_reps": n_reps, "cached": True},
                 )
             return hit
+        if render_only_active():
+            from ..runs.store import MissingCellError, cell_key
+
+            raise MissingCellError(
+                f"store has no results for cell {label or protocol!r} "
+                f"(key {cell_key(cs)}); render-only mode refuses to recompute — "
+                f"sweep this experiment first"
+            )
 
     started = time.perf_counter()
     with _OBS.span("experiments.cell"):

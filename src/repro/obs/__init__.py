@@ -20,7 +20,14 @@ runs watch`` (live sweep dashboard); ``repro-qoslb simulate --obs-out
 run.jsonl`` records a run.  See ``docs/OBSERVABILITY.md``.
 """
 
-from .aggregate import TIMELINE_NAME, cell_digest, cell_event_files, merge_events, read_events
+from .aggregate import (
+    TIMELINE_NAME,
+    cell_digest,
+    cell_event_files,
+    merge_events,
+    read_events,
+    write_cell_events,
+)
 from .hub import HUB, OBS_EVENTS_SCHEMA, TelemetryHub
 from .provenance import PROVENANCE_FIELDS, git_sha, provenance_stamp
 from .regress import GATE_SCHEMA, gate, gate_cells, render_gate
@@ -40,6 +47,7 @@ __all__ = [
     "cell_event_files",
     "merge_events",
     "read_events",
+    "write_cell_events",
     "gate",
     "gate_cells",
     "render_gate",

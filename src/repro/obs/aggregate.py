@@ -40,6 +40,7 @@ __all__ = [
     "cell_key_of",
     "cell_digest",
     "merge_events",
+    "write_cell_events",
 ]
 
 #: File name of the merged sweep timeline (sibling of ``events/``).
@@ -126,6 +127,27 @@ def cell_digest(path: str | Path) -> dict[str, Any]:
         elif kind in ("counters", "spans"):
             digest["closed"] = True
     return digest
+
+
+def write_cell_events(events_dir: str | Path, key: str, text: str) -> Path:
+    """Land a remotely-executed cell's event file in the sweep's events dir.
+
+    Distributed workers ship their per-cell ``obs-events/v1`` file as text
+    inside the ``result`` frame (they may not share a filesystem with the
+    coordinator); the coordinator writes it here — atomically, with the
+    trailing newline restored if the shipment lost it — under exactly the
+    name :func:`merge_events` expects, so remote and local cells are
+    indistinguishable in the merged timeline.
+    """
+    events_dir = Path(events_dir)
+    events_dir.mkdir(parents=True, exist_ok=True)
+    path = events_dir / f"cell-{key}.jsonl"
+    if text and not text.endswith("\n"):
+        text += "\n"
+    tmp = path.with_suffix(".jsonl.tmp")
+    tmp.write_text(text)
+    os.replace(tmp, path)
+    return path
 
 
 def merge_events(

@@ -33,6 +33,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
@@ -50,9 +51,11 @@ __all__ = [
     "cell_key",
     "build_payload",
     "results_from_payload",
+    "MissingCellError",
     "ResultStore",
     "use_store",
     "active_store",
+    "render_only_active",
 ]
 
 #: Stored-cell schema identifier (frozen; see tests/test_runs.py).
@@ -74,6 +77,17 @@ RESULT_FIELDS = (
     "schedule",
     "seed",
 )
+
+class MissingCellError(KeyError):
+    """A render-only store was asked for a cell it does not hold.
+
+    Raised by :func:`repro.experiments.cell` inside
+    ``use_store(..., render_only=True)`` instead of silently recomputing —
+    the whole point of render-only mode is to prove a figure comes from
+    stored sweep results.  The message names the cell and its key so the
+    missing sweep coverage is actionable.
+    """
+
 
 #: Keys of the optional per-cell resource profile (frozen with the
 #: schema).  The block is *additive* to ``runs-cell/v1``: payloads from
@@ -198,7 +212,18 @@ class ResultStore:
         return self.root / f"{key}.json"
 
     def has(self, key: str) -> bool:
-        return self.path(key).exists()
+        if self.path(key).exists():
+            self._touch(key)
+            return True
+        return False
+
+    def _touch(self, key: str) -> None:
+        """Refresh a payload's mtime — :meth:`prune` evicts by recency,
+        so any consult (cache probe or load) counts as a use."""
+        try:
+            os.utime(self.path(key))
+        except OSError:
+            pass
 
     def keys(self) -> list[str]:
         return sorted(p.stem for p in self.root.glob("*.json"))
@@ -234,8 +259,12 @@ class ResultStore:
     # -- the cell-level API the experiment layer consumes ----------------------
 
     def load_results(self, cell: CellSpec) -> list[RunResult] | None:
-        payload = self.get(cell_key(cell))
-        return None if payload is None else results_from_payload(payload)
+        key = cell_key(cell)
+        payload = self.get(key)
+        if payload is None:
+            return None
+        self._touch(key)
+        return results_from_payload(payload)
 
     def store_results(
         self, cell: CellSpec, results: list[RunResult], *, duration_s: float
@@ -278,28 +307,97 @@ class ResultStore:
             "dry_run": dry_run,
         }
 
+    def prune(
+        self,
+        *,
+        max_age_s: float | None = None,
+        max_bytes: int | None = None,
+        dry_run: bool = False,
+        now: float | None = None,
+    ) -> dict[str, Any]:
+        """Evict least-recently-used payloads by age and/or size budget.
+
+        Recency is payload mtime, which :meth:`has`/:meth:`load_results`
+        refresh on every consult — a cell served to a sweep or render is
+        "used" even though the file is never rewritten.  ``max_age_s``
+        drops anything idle longer than that; ``max_bytes`` then keeps
+        evicting the coldest payloads until the store fits the budget.
+        Journal-safe by construction: a pruned cell is simply a cache
+        miss, so a later ``sweep --resume`` re-executes it and commits a
+        fresh (bit-identical) payload under the same key.
+
+        Returns the same accounting shape as :meth:`gc`, plus the
+        surviving byte total.
+        """
+        now = time.time() if now is None else now
+        entries = []
+        total = 0
+        for path in sorted(self.root.glob("*.json")):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, path, stat.st_size))
+            total += stat.st_size
+        entries.sort()  # coldest first
+        removed: list[str] = []
+        freed = 0
+        kept_bytes = total
+        for mtime, path, size in entries:
+            too_old = max_age_s is not None and now - mtime > max_age_s
+            too_big = max_bytes is not None and kept_bytes > max_bytes
+            if not too_old and not too_big:
+                break  # entries are coldest-first: the rest survive too
+            removed.append(path.stem)
+            freed += size
+            kept_bytes -= size
+            if not dry_run:
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+        return {
+            "kept": len(entries) - len(removed),
+            "removed": len(removed),
+            "freed_bytes": freed,
+            "removed_keys": removed,
+            "total_bytes": total,
+            "kept_bytes": kept_bytes,
+            "dry_run": dry_run,
+        }
+
 
 # -- active store (consulted by repro.experiments.cell) ------------------------
 
-_ACTIVE: list[ResultStore] = []
+_ACTIVE: list[tuple[ResultStore, bool]] = []
 
 
 def active_store() -> ResultStore | None:
     """The innermost store installed by :func:`use_store`, if any."""
-    return _ACTIVE[-1] if _ACTIVE else None
+    return _ACTIVE[-1][0] if _ACTIVE else None
+
+
+def render_only_active() -> bool:
+    """True when the innermost :func:`use_store` forbids recomputation."""
+    return _ACTIVE[-1][1] if _ACTIVE else False
 
 
 @contextmanager
-def use_store(store: ResultStore | str | Path) -> Iterator[ResultStore]:
+def use_store(
+    store: ResultStore | str | Path, *, render_only: bool = False
+) -> Iterator[ResultStore]:
     """Route every ``experiments.cell`` call through ``store``.
 
     Cache hits return stored results without simulating; misses run and
     are written back — so any experiment render inside the context is
-    incremental over all prior sweeps sharing the store.
+    incremental over all prior sweeps sharing the store.  With
+    ``render_only=True`` a miss raises :class:`MissingCellError` instead
+    of recomputing: figures rendered in that mode provably come from
+    stored sweep results alone.
     """
     if not isinstance(store, ResultStore):
         store = ResultStore(store)
-    _ACTIVE.append(store)
+    _ACTIVE.append((store, bool(render_only)))
     try:
         yield store
     finally:

@@ -25,6 +25,10 @@ from .journal import read_journal
 
 __all__ = ["STALE_HEARTBEAT_S", "sweep_snapshot", "render_watch", "watch"]
 
+# Distributed sweeps additionally leave a live worker table
+# (workers.json, maintained by the repro.runs.net coordinator); the
+# dashboard joins it in as per-worker rows when present.
+
 #: A running cell whose last event is older than this is flagged — its
 #: worker is either inside a very long round or gone.
 STALE_HEARTBEAT_S = 30.0
@@ -38,6 +42,8 @@ def sweep_snapshot(out: str | Path, *, now: float | None = None) -> dict[str, An
     simply has no liveness data.  (A missing journal *does* raise — there
     is no sweep to watch.)
     """
+    from .net import read_workers
+
     out_dir = Path(out)
     now = time.time() if now is None else now
     data = read_journal(out_dir / "journal.jsonl")
@@ -45,6 +51,38 @@ def sweep_snapshot(out: str | Path, *, now: float | None = None) -> dict[str, An
     for path in cell_event_files(out_dir / "events"):
         digest = cell_digest(path)
         digests[digest["cell"]] = digest
+
+    # Distributed sweeps: join the coordinator's live worker table.
+    worker_rows: list[dict[str, Any]] = []
+    worker_table = read_workers(out_dir)
+    if worker_table is not None:
+        lease_by_worker = {
+            lease.get("worker"): lease for lease in worker_table.get("leases", [])
+        }
+        for info in worker_table.get("workers", []):
+            lease = lease_by_worker.get(info.get("id"))
+            last_seen = info.get("last_seen")
+            worker_rows.append(
+                {
+                    "id": info.get("id", "?"),
+                    "host": info.get("host", "?"),
+                    "pid": info.get("pid"),
+                    "alive": bool(info.get("alive")),
+                    "cells_done": int(info.get("cells_done") or 0),
+                    "leased": info.get("leased"),
+                    "leased_label": lease.get("label") if lease else None,
+                    "heartbeat_age": (
+                        max(0.0, now - last_seen)
+                        if isinstance(last_seen, (int, float))
+                        else None
+                    ),
+                    "lease_expired": bool(
+                        lease
+                        and isinstance(lease.get("deadline"), (int, float))
+                        and lease["deadline"] < now
+                    ),
+                }
+            )
 
     cells: list[dict[str, Any]] = []
     counts = {"finished": 0, "failed": 0, "running": 0, "pending": 0}
@@ -107,6 +145,7 @@ def sweep_snapshot(out: str | Path, *, now: float | None = None) -> dict[str, An
         "out": str(out_dir),
         "now": now,
         "config": config,
+        "workers": worker_rows,
         "cells": cells,
         "counts": counts,
         "total": total,
@@ -163,6 +202,29 @@ def render_watch(snapshot: dict[str, Any], *, max_rows: int = 12) -> str:
     ]
     if snapshot["bad_lines"]:
         lines.append(f"  journal: {snapshot['bad_lines']} torn line(s) skipped")
+
+    workers = snapshot.get("workers") or []
+    if workers:
+        lines.append("")
+        lines.append("  workers (heartbeat age · leased cell):")
+        for w in workers[:max_rows]:
+            age = w["heartbeat_age"]
+            stale = w["lease_expired"] or (
+                w["alive"] and age is not None and age > STALE_HEARTBEAT_S
+            )
+            leased = (
+                f"{w['leased'][:12]} {w['leased_label'] or ''}".rstrip()
+                if w["leased"]
+                else ("idle" if w["alive"] else "gone")
+            )
+            flag = "!" if stale else (" " if w["alive"] else "x")
+            lines.append(
+                f"    {_fmt_age(age)}{flag} {w['id']:<4} {w['host']:<16} "
+                f"done {w['cells_done']:>3}  {leased}"
+                + ("  [lease expired]" if w["lease_expired"] else "")
+            )
+        if len(workers) > max_rows:
+            lines.append(f"    … and {len(workers) - max_rows} more")
 
     running = [c for c in snapshot["cells"] if c["state"] == "running"]
     if running:

@@ -24,6 +24,7 @@ from __future__ import annotations
 import dataclasses
 import json
 import os
+import time
 
 import pytest
 
@@ -233,6 +234,113 @@ def test_store_corrupt_payload_is_a_miss_and_gc_removes_it(tmp_path):
 def test_store_rejects_foreign_schema(tmp_path):
     with pytest.raises(ValueError, match="runs-cell/v1"):
         ResultStore(tmp_path).put({"schema": "other/v9", "key": "k"})
+
+
+# -- LRU pruning (runs gc --max-age / --max-bytes) -----------------------------
+
+
+def make_aged_store(tmp_path, ages_s, now=1_000_000.0):
+    """A store of tiny payloads whose mtimes are ``now - age`` each."""
+    store = ResultStore(tmp_path)
+    keys = []
+    for i, age in enumerate(ages_s):
+        cell = tiny_cell(f"age{i}")
+        store.store_results(cell, cell.run(), duration_s=0.01)
+        key = cell_key(cell)
+        os.utime(store.path(key), (now - age, now - age))
+        keys.append(key)
+    return store, keys
+
+
+def test_prune_by_age_evicts_only_idle_payloads(tmp_path):
+    now = 1_000_000.0
+    store, keys = make_aged_store(tmp_path, ages_s=[0.0, 100.0, 10_000.0], now=now)
+    report = store.prune(max_age_s=1_000.0, now=now)
+    assert report["removed_keys"] == [keys[2]]
+    assert report["kept"] == 2 and not store.path(keys[2]).exists()
+
+
+def test_prune_by_bytes_evicts_coldest_first(tmp_path):
+    now = 1_000_000.0
+    store, keys = make_aged_store(tmp_path, ages_s=[0.0, 100.0, 200.0], now=now)
+    sizes = {k: store.path(k).stat().st_size for k in keys}
+    budget = sizes[keys[0]] + sizes[keys[1]]
+    report = store.prune(max_bytes=budget, now=now)
+    # Oldest-mtime payload goes first; the two warm ones fit the budget.
+    assert report["removed_keys"] == [keys[2]]
+    assert report["kept_bytes"] <= budget
+    assert store.has(keys[0]) and store.has(keys[1])
+
+
+def test_prune_dry_run_deletes_nothing(tmp_path):
+    now = 1_000_000.0
+    store, keys = make_aged_store(tmp_path, ages_s=[5_000.0], now=now)
+    report = store.prune(max_age_s=1.0, dry_run=True, now=now)
+    assert report["dry_run"] and report["removed_keys"] == keys
+    assert store.has(keys[0])
+
+
+def test_consulting_a_payload_refreshes_its_recency(tmp_path):
+    now = 1_000_000.0
+    store, keys = make_aged_store(tmp_path, ages_s=[5_000.0], now=now)
+    assert store.has(keys[0])  # the probe itself is a "use"
+    assert store.path(keys[0]).stat().st_mtime > now - 5_000.0
+    report = store.prune(max_age_s=1_000.0, now=time.time())
+    assert report["removed"] == 0
+
+
+def test_pruned_cell_is_journal_safe_resume_recomputes(tmp_path):
+    """Eviction = cache miss: a resumed sweep re-runs exactly the pruned cell."""
+    out = tmp_path / "sweep"
+    first = run_sweep(["F1"], out=out, workers=0, overrides=F1_OVERRIDES)
+    assert first["run"] == 3
+    store = ResultStore(out / "store")
+    victim = store.keys()[0]
+    os.utime(store.path(victim), (1.0, 1.0))  # ancient
+    report = store.prune(max_age_s=60.0)
+    assert report["removed_keys"] == [victim]
+    resumed = resume_sweep(out)
+    assert resumed["cached"] == 2 and resumed["run"] == 1
+    assert store.has(victim)
+
+
+# -- render-only mode (run --render-only) --------------------------------------
+
+
+def test_render_only_raises_on_missing_cell(tmp_path):
+    from repro.experiments.common import cell as run_cell
+    from repro.runs import MissingCellError
+
+    kwargs = dict(
+        generator="uniform_slack",
+        generator_kwargs={"n": 16, "m": 4, "slack": 0.5},
+        max_rounds=500,
+        n_reps=2,
+        label="render-me",
+    )
+    with use_store(tmp_path, render_only=True):
+        with pytest.raises(MissingCellError, match="render-me"):
+            run_cell(**kwargs)
+    assert ResultStore(tmp_path).keys() == []  # nothing silently computed
+
+    # Populate normally, then render-only serves it without recomputing.
+    with use_store(tmp_path):
+        computed = run_cell(**kwargs)
+    with use_store(tmp_path, render_only=True):
+        rendered = run_cell(**kwargs)
+    assert [r.rounds for r in rendered] == [r.rounds for r in computed]
+
+
+def test_render_only_cli_flag(tmp_path, capsys):
+    from repro.cli import main
+
+    with pytest.raises(SystemExit, match="--store"):
+        main(["run", "F1", "--render-only"])
+    with pytest.raises(SystemExit, match="render-only"):
+        main(
+            ["run", "F1", "--scale", "ci", "--store", str(tmp_path), "--render-only",
+             "--set", "ns=16,32", "--set", "n_reps=2", "--set", "users_per_resource=4"]
+        )
 
 
 # -- frozen runs-journal/v1 ----------------------------------------------------
