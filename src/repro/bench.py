@@ -103,6 +103,28 @@ ENGINE_CELLS: list[dict[str, Any]] = [
         "schedule": "synchronous",
     },
     {
+        "name": "unit/multi-probe/alpha",
+        "generator": "uniform_slack",
+        "protocol": "multi-probe",
+        "protocol_kwargs": {"d": 2},
+        "schedule": "alpha",
+        "schedule_kwargs": {"alpha": 0.5},
+    },
+    {
+        "name": "unit/permit/alpha",
+        "generator": "uniform_slack",
+        "protocol": "permit",
+        "schedule": "alpha",
+        "schedule_kwargs": {"alpha": 0.25},
+    },
+    {
+        "name": "unit/neighborhood/sync",
+        "generator": "uniform_slack",
+        "protocol": "neighborhood",
+        "protocol_kwargs": {"topology": "random-regular"},
+        "schedule": "synchronous",
+    },
+    {
         "name": "unit/sweep-best-response/sync",
         "generator": "uniform_slack",
         "protocol": "sweep-best-response",
@@ -149,6 +171,9 @@ BATCHED_CELLS: list[tuple[str, str]] = [
     ("engine/batched/sampling/sync", "unit/sampling/sync"),
     ("engine/batched/sampling/alpha", "unit/sampling/alpha"),
     ("engine/batched/sampling-slackrate/sync", "unit/sampling-slackrate/sync"),
+    ("engine/batched/multi-probe/alpha", "unit/multi-probe/alpha"),
+    ("engine/batched/permit/alpha", "unit/permit/alpha"),
+    ("engine/batched/neighborhood/sync", "unit/neighborhood/sync"),
 ]
 
 
@@ -160,6 +185,8 @@ def _build_cell(cell: dict[str, Any], n: int, m: int):
     gen_kwargs.setdefault("m", m)
     instance = build_instance(cell["generator"], **gen_kwargs)
     proto_kwargs = dict(cell.get("protocol_kwargs", {}))
+    if cell["protocol"] == "neighborhood" and "m" not in proto_kwargs:
+        proto_kwargs["m"] = instance.n_resources
     protocol = build_protocol(cell["protocol"], **proto_kwargs)
     schedule = build_schedule(cell["schedule"], **cell.get("schedule_kwargs", {}))
     return instance, protocol, schedule
@@ -294,6 +321,85 @@ def _time_replicate_cell(*, n: int, m: int, max_rounds: int, reps: int) -> dict[
         "reps_per_sec": reps / elapsed,
         "total_rounds": int(sum(r.rounds for r in results)),
         "statuses": sorted({r.status for r in results}),
+    }
+
+
+def _time_hybrid_cell(
+    *,
+    n: int,
+    m: int,
+    max_rounds: int,
+    repeats: int,
+    reps: int = BATCH_REPS,
+    workers: int | None = None,
+) -> dict[str, Any]:
+    """Hybrid (processes × batch) replication vs its two pure legs.
+
+    Times three backends replicating the same spec ``reps`` times: the
+    scalar process pool, the single-process batched engine, and the hybrid
+    composition (batched shards across the pool).  All three produce
+    bit-identical per-rep results, so the comparison is pure wall-clock.
+    The pool-backed legs only help with ≥2 cores; the payload records the
+    shard count the hybrid leg actually ran with (``workers``) so trend
+    tooling and CI can condition the beats-both-legs expectation on it —
+    on one core the hybrid backend degenerates to plain batched by design.
+    """
+    from .sim.parallel import RunSpec, _default_workers, replicate
+
+    spec = RunSpec(
+        generator="uniform_slack",
+        generator_kwargs={"n": n, "m": m, "slack": 0.25},
+        protocol="qos-sampling",
+        initial="pile",
+        max_rounds=max_rounds,
+        label="bench-hybrid",
+    )
+    n_workers = _default_workers() if workers is None else int(workers)
+    n_shards = min(max(1, n_workers), reps)
+
+    # Untimed warm-up per leg (imports, pool spin-up), then interleaved
+    # best-of-``repeats`` so machine-speed drift hits all legs alike.
+    replicate(spec, reps, base_seed=0, backend="batched")
+    if n_shards >= 2:
+        replicate(spec, reps, base_seed=0, workers=n_workers, backend="hybrid")
+    pool_seconds = float("inf")
+    batched_seconds = float("inf")
+    hybrid_seconds = float("inf")
+    hybrid_results: list[Any] = []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        replicate(spec, reps, base_seed=0, workers=n_workers, backend="serial")
+        pool_seconds = min(pool_seconds, time.perf_counter() - started)
+        started = time.perf_counter()
+        replicate(spec, reps, base_seed=0, backend="batched")
+        batched_seconds = min(batched_seconds, time.perf_counter() - started)
+        started = time.perf_counter()
+        results = replicate(spec, reps, base_seed=0, workers=n_workers, backend="hybrid")
+        elapsed = time.perf_counter() - started
+        if elapsed < hybrid_seconds:
+            hybrid_seconds = elapsed
+            hybrid_results = results
+    total_rounds = max(1, sum(r.rounds for r in hybrid_results))
+    hybrid_urps = total_rounds * n / hybrid_seconds
+    return {
+        "kind": "hybrid",
+        "name": "replicate/hybrid",
+        "generator": "uniform_slack",
+        "protocol": "qos-sampling",
+        "schedule": "synchronous",
+        "n_users": n,
+        "n_resources": m,
+        "reps": reps,
+        "workers": n_shards,
+        "seconds": hybrid_seconds,
+        "pool_seconds": pool_seconds,
+        "batched_seconds": batched_seconds,
+        "rounds": int(total_rounds),
+        "rounds_per_sec": total_rounds / hybrid_seconds,
+        "user_rounds_per_sec": hybrid_urps,
+        "speedup_vs_pool": pool_seconds / hybrid_seconds,
+        "speedup_vs_batched": batched_seconds / hybrid_seconds,
+        "statuses": sorted({r.status for r in hybrid_results}),
     }
 
 
@@ -764,6 +870,16 @@ def run_bench(
                     repeats=max(n_repeats, 5),
                 )
             )
+    if want("replicate/hybrid"):
+        cells.append(
+            _time_hybrid_cell(
+                n=n,
+                m=m,
+                max_rounds=params["max_rounds"],
+                repeats=n_repeats,
+                reps=BATCH_REPS,
+            )
+        )
     if want("query/satisfied-mask"):
         cells.append(_time_query_cell(n=n, m=m))
     if want("runs/overhead"):
@@ -825,6 +941,14 @@ def render_bench(payload: dict[str, Any]) -> str:
                 f"{c['reps']} reps lockstep, "
                 f"{c['user_rounds_per_sec']:,.0f} user-rounds/s "
                 f"(serial {c['serial_user_rounds_per_sec']:,.0f})"
+            )
+        elif c["kind"] == "hybrid":
+            metric = f"x{c['speedup_vs_batched']:.2f} vs batched"
+            detail = (
+                f"{c['reps']} reps over {c['workers']} shard(s), "
+                f"{c['user_rounds_per_sec']:,.0f} user-rounds/s; "
+                f"pool {c['pool_seconds']:.2f}s, "
+                f"batched {c['batched_seconds']:.2f}s (x{c['speedup_vs_pool']:.2f} vs pool)"
             )
         elif c["kind"] == "aggregate":
             metric = f"{c['events_per_sec']:,.0f} events/s"

@@ -340,6 +340,25 @@ def _cmd_runs_watch(args: argparse.Namespace) -> int:
         return 0
 
 
+def _cmd_runs_workers(args: argparse.Namespace) -> int:
+    from .runs import render_workers, workers_roster
+
+    rows = workers_roster(args.dir)
+    if rows is None:
+        print(
+            f"no worker table under {args.dir} (workers.json missing or "
+            "unreadable): not a distributed sweep, or its coordinator has "
+            "not started",
+            file=sys.stderr,
+        )
+        return 1
+    if args.json:
+        print(json.dumps(rows, indent=2))
+    else:
+        print(render_workers(rows, max_rows=args.max_rows))
+    return 0
+
+
 def _parse_bytes(text: str) -> int:
     """``"512M"``-style size: plain bytes or a K/M/G-suffixed count."""
     text = text.strip()
@@ -592,7 +611,7 @@ def main(argv: list[str] | None = None) -> int:
     p_run.add_argument("--workers", type=int, default=None, help="process pool size")
     p_run.add_argument(
         "--backend",
-        choices=("auto", "batched", "serial"),
+        choices=("auto", "batched", "serial", "hybrid"),
         default=None,
         help="replication engine (auto = batched where supported)",
     )
@@ -621,7 +640,7 @@ def main(argv: list[str] | None = None) -> int:
     p_all.add_argument("--workers", type=int, default=None)
     p_all.add_argument(
         "--backend",
-        choices=("auto", "batched", "serial"),
+        choices=("auto", "batched", "serial", "hybrid"),
         default=None,
         help="replication engine (auto = batched where supported)",
     )
@@ -651,7 +670,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_sweep.add_argument(
         "--backend",
-        choices=("auto", "batched", "serial"),
+        choices=("auto", "batched", "serial", "hybrid"),
         default=None,
         help="per-cell replication engine; journalled, so --resume reuses it",
     )
@@ -727,6 +746,19 @@ def main(argv: list[str] | None = None) -> int:
         "--max-rows", type=int, default=12, help="cap on per-cell rows shown per section"
     )
     p_watch.set_defaults(fn=_cmd_runs_watch)
+    p_workers = runs_sub.add_parser(
+        "workers",
+        help="roster of a distributed sweep's workers (host, heartbeat age, "
+        "leased cell, expired-lease flag) from the coordinator's workers.json",
+    )
+    p_workers.add_argument("dir", help="sweep directory (workers.json)")
+    p_workers.add_argument(
+        "--json", action="store_true", help="machine-readable rows instead of a table"
+    )
+    p_workers.add_argument(
+        "--max-rows", type=int, default=50, help="cap on worker rows shown"
+    )
+    p_workers.set_defaults(fn=_cmd_runs_workers)
     p_gc = runs_sub.add_parser(
         "gc",
         help="drop stale store payloads (other versions, corrupt files); "
@@ -766,7 +798,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_worker.add_argument(
         "--backend",
-        choices=("auto", "batched", "serial"),
+        choices=("auto", "batched", "serial", "hybrid"),
         default=None,
         help="override the coordinator's replication engine for this worker "
         "(payloads are backend-agnostic)",

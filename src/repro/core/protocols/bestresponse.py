@@ -45,10 +45,17 @@ from .base import Proposal, Protocol, StepOutcome
 __all__ = ["BestResponseProtocol", "SweepBestResponse"]
 
 
-def _satisfying_targets(state: State, user: int, polite: bool) -> np.ndarray:
+def _satisfying_targets(
+    state: State, user: int, polite: bool, res_min: np.ndarray | None = None
+) -> np.ndarray:
     """Accessible resources (other than the user's own) that would satisfy
     ``user``, conservatively counting its own arrival; polite moves also
-    spare the target's satisfied residents."""
+    spare the target's satisfied residents.
+
+    ``res_min`` lets a sequential sweep pass in an incrementally maintained
+    satisfied-resident minimum instead of recomputing it from scratch after
+    every applied move (it must equal ``satisfied_resident_min(state)``).
+    """
     inst = state.instance
     u = int(user)
     allowed = inst.accessible(u)
@@ -59,16 +66,22 @@ def _satisfying_targets(state: State, user: int, polite: bool) -> np.ndarray:
     lat = inst.latencies.evaluate_at(allowed, state.loads[allowed] + w)
     ok = lat <= inst.thresholds[u]
     if polite:
-        res_min = satisfied_resident_min(state)
+        if res_min is None:
+            res_min = satisfied_resident_min(state)
         ok &= lat <= res_min[allowed]
     return allowed[ok]
 
 
 def _best_target(
-    state: State, user: int, rng: np.random.Generator, greedy: bool, polite: bool
+    state: State,
+    user: int,
+    rng: np.random.Generator,
+    greedy: bool,
+    polite: bool,
+    res_min: np.ndarray | None = None,
 ) -> int | None:
     """Pick a satisfying target: the max-slack one (greedy) or uniform."""
-    candidates = _satisfying_targets(state, user, polite)
+    candidates = _satisfying_targets(state, user, polite, res_min)
     if candidates.size == 0:
         return None
     if not greedy:
@@ -144,6 +157,14 @@ class SweepBestResponse(Protocol):
         # resources each applied move touches — the per-user one-element
         # evaluate_at calls were the sweep's dominant cost.
         lat = np.array(state.resource_latencies())
+        # The satisfied-resident minimum is maintained incrementally too: a
+        # move only changes the latency (hence resident satisfaction) of
+        # the two touched resources, so recomputing those two entries
+        # replaces the full O(n) rebuild the memoized cache re-ran after
+        # every applied move — the sweep's dominant cost.
+        res_min = (
+            np.array(satisfied_resident_min(state)) if self.polite else None
+        )
         for u in order:
             u = int(u)
             # Check satisfaction against the *current* loads: earlier moves
@@ -151,13 +172,19 @@ class SweepBestResponse(Protocol):
             own = int(state.assignment[u])
             if lat[own] <= q[u]:
                 continue
-            target = _best_target(state, u, rng, self.greedy, self.polite)
+            target = _best_target(state, u, rng, self.greedy, self.polite, res_min)
             if target is not None:
                 state.move_user(u, target)
                 touched = np.asarray([own, target])
                 lat[touched] = inst.latencies.evaluate_at(
                     touched, state.loads[touched]
                 )
+                if res_min is not None:
+                    asg = state.assignment
+                    for r in (own, target):
+                        rq = q[asg == r]
+                        sat_q = rq[rq >= lat[r]]
+                        res_min[r] = sat_q.min() if sat_q.size else np.inf
                 moved.append(u)
         moved_arr = np.asarray(moved, dtype=np.int64)
         return StepOutcome(

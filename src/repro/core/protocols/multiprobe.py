@@ -67,8 +67,10 @@ class MultiProbeProtocol(Protocol):
             candidates = flat.reshape(k, self.d)
 
         # Evaluate all probes at once: latency each target would have after
-        # this user's solo arrival.
-        w = np.repeat(inst.weights[movers], self.d)
+        # this user's solo arrival.  (Unit weights add the scalar instead
+        # of materialising a k*d weight array — same IEEE sums.)
+        w_m = inst.weights[movers]
+        w = 1.0 if np.all(w_m == 1.0) else np.repeat(w_m, self.d)
         flat_targets = candidates.reshape(-1)
         lat = inst.latencies.evaluate_at(
             flat_targets, state.loads[flat_targets] + w
@@ -80,9 +82,10 @@ class MultiProbeProtocol(Protocol):
         # Max headroom = min post-arrival latency among valid probes.
         lat_masked = np.where(valid, lat, np.inf)
         best_idx = np.argmin(lat_masked, axis=1)
-        has_valid = valid[np.arange(k), best_idx]
+        rows = np.arange(k)
+        has_valid = valid[rows, best_idx]
         movers = movers[has_valid]
-        targets = candidates[np.arange(k), best_idx][has_valid]
+        targets = candidates[rows, best_idx][has_valid]
         if movers.size == 0:
             return Proposal.empty()
 

@@ -25,6 +25,7 @@ from __future__ import annotations
 import networkx as nx
 import numpy as np
 
+from ..memory import iter_chunks
 from ..state import State
 from .base import Proposal, Protocol
 from .rates import ConstantRate, MigrationRateRule
@@ -35,7 +36,7 @@ __all__ = ["ResourceGraph", "NeighborhoodSamplingProtocol"]
 class ResourceGraph:
     """Flat adjacency view of an undirected resource graph."""
 
-    __slots__ = ("n_resources", "neighbors", "offsets")
+    __slots__ = ("n_resources", "neighbors", "offsets", "_spans", "_bounds", "_any_isolated")
 
     def __init__(self, graph: nx.Graph, n_resources: int):
         if graph.number_of_nodes() != n_resources or set(graph.nodes) != set(
@@ -58,18 +59,23 @@ class ResourceGraph:
         for r in range(n_resources):
             nbrs = sorted(graph.neighbors(r))
             self.neighbors[self.offsets[r] : self.offsets[r + 1]] = nbrs
+        # Per-resource degree and RNG bound, precomputed so the per-round
+        # sampling hot path is two takes + one rng call.
+        self._spans = np.diff(self.offsets)
+        self._bounds = np.maximum(self._spans, 1)
+        self._any_isolated = bool(np.any(self._spans == 0))
 
     def sample_neighbor(
         self, resources: np.ndarray, rng: np.random.Generator
     ) -> np.ndarray:
         """One uniform neighbour per listed resource (vectorized)."""
         resources = np.asarray(resources, dtype=np.int64)
-        lo = self.offsets[resources]
-        span = self.offsets[resources + 1] - lo
-        pos = lo + rng.integers(0, np.maximum(span, 1))
-        out = self.neighbors[pos]
-        # Isolated resources (only possible when m == 1) sample themselves.
-        out = np.where(span > 0, out, resources)
+        lo = self.offsets.take(resources)
+        pos = lo + rng.integers(0, self._bounds.take(resources))
+        out = self.neighbors.take(pos)
+        if self._any_isolated:
+            # Isolated resources (only possible when m == 1) sample themselves.
+            out = np.where(self._spans.take(resources) > 0, out, resources)
         return out
 
     def neighbors_of(self, r: int) -> np.ndarray:
@@ -115,21 +121,39 @@ class NeighborhoodSamplingProtocol(Protocol):
         """Quiescent iff no unsatisfied user's *one-hop* neighbourhood has a
         satisfying resource.  Weaker than global stability: a user may be
         locally stuck while distant capacity exists — then the run reports
-        quiescence with unsatisfied users, the F9 failure mode."""
+        quiescence with unsatisfied users, the F9 failure mode.
+
+        Evaluated over the flat CSR adjacency in user chunks (bounded
+        scratch even on dense graphs) with an early exit per chunk.
+        """
         inst = state.instance
         unsat = np.nonzero(~state.satisfied_mask())[0]
-        for u in unsat:
-            u = int(u)
-            own = int(state.assignment[u])
-            nbrs = self.graph.neighbors_of(own)
-            nbrs = nbrs[nbrs != own]
-            if inst.access is not None and nbrs.size:
-                nbrs = nbrs[inst.access.contains(np.full(nbrs.size, u), nbrs)]
-            if nbrs.size == 0:
+        if unsat.size == 0:
+            return True
+        offsets, neighbors = self.graph.offsets, self.graph.neighbors
+        for cs, ce in iter_chunks(unsat.size):
+            users = unsat[cs:ce]
+            own = state.assignment[users]
+            lo = offsets[own]
+            span = offsets[own + 1] - lo
+            total = int(span.sum())
+            if total == 0:
                 continue
-            w = float(inst.weights[u])
-            lat = inst.latencies.evaluate_at(nbrs, state.loads[nbrs] + w)
-            if bool(np.any(lat <= inst.thresholds[u])):
+            # One row per (user, neighbour-of-own-resource) pair.
+            starts = np.cumsum(span) - span
+            within = np.arange(total, dtype=np.int64) - np.repeat(starts, span)
+            nbrs = neighbors[np.repeat(lo, span) + within]
+            user_rep = np.repeat(users, span)
+            ok = nbrs != np.repeat(own, span)
+            if inst.access is not None:
+                ok &= inst.access.contains(user_rep, nbrs)
+            if not np.any(ok):
+                continue
+            nbrs, user_rep = nbrs[ok], user_rep[ok]
+            lat = inst.latencies.evaluate_at(
+                nbrs, state.loads[nbrs] + inst.weights[user_rep]
+            )
+            if bool(np.any(lat <= inst.thresholds[user_rep])):
                 return False
         return True
 

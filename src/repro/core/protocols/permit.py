@@ -82,34 +82,41 @@ class PermitProtocol(Protocol):
         q = inst.thresholds[movers]
         order = np.lexsort((-q, targets))
         movers, targets, q = movers[order], targets[order], q[order]
-        boundaries = np.nonzero(np.diff(targets))[0] + 1
-        groups = np.split(np.arange(movers.size), boundaries)
 
-        granted: list[np.ndarray] = []
-        w = inst.weights
-        for grp in groups:
-            r = int(targets[grp[0]])
-            f = inst.latencies[r]
-            load = float(state.loads[r])
-            res_min = float(resident_min[r])
-            gq = q[grp]
-            gw = w[movers[grp]]
-            cum_w = np.cumsum(gw)
-            # Largest prefix g with ell_r(load + sum of granted weights)
-            # <= min(res_min, gq[g-1]).  Both sides are monotone, scan.
-            g = 0
-            for k in range(grp.size):
-                bound = min(res_min, float(gq[k]))
-                if f(load + float(cum_w[k])) <= bound:
-                    g = k + 1
-                else:
-                    break
-            if g:
-                granted.append(grp[:g])
+        # One pass of segment arithmetic over the sorted probe list replaces
+        # the per-resource Python scan.  A probe's grant condition is
+        # ell_r(load + cum granted weight) <= min(res_min, its q); each
+        # resource grants the prefix of its group strictly before the first
+        # violated condition (positions past it are evaluated but cannot
+        # affect that minimum).
+        P = movers.size
+        seg_start = np.empty(P, dtype=bool)
+        seg_start[0] = True
+        np.not_equal(targets[1:], targets[:-1], out=seg_start[1:])
+        starts = np.flatnonzero(seg_start)
+        seg_id = np.cumsum(seg_start) - 1
+        within = np.arange(P) - starts[seg_id]
 
-        if not granted:
+        gw = inst.weights[movers]
+        if np.all(gw == 1.0):
+            # Unit weights: the integer rank + 1 is the exact float64
+            # cumulative sum of 1.0s.
+            cum_w = (within + 1).astype(np.float64)
+        else:
+            # Per-segment cumsum keeps each group's scalar summation order.
+            cum_w = np.empty(P, dtype=np.float64)
+            bnd = np.append(starts, P)
+            for si in range(starts.size):
+                a, b = bnd[si], bnd[si + 1]
+                np.cumsum(gw[a:b], out=cum_w[a:b])
+
+        lat = inst.latencies.evaluate_at(targets, state.loads[targets] + cum_w)
+        cond = lat <= np.minimum(resident_min[targets], q)
+        fail = np.where(cond, P, within)
+        first_fail = np.minimum.reduceat(fail, starts)
+        sel = np.flatnonzero(within < first_fail[seg_id])
+        if sel.size == 0:
             return Proposal.empty()
-        sel = np.concatenate(granted)
         return Proposal(movers[sel], targets[sel])
 
     def is_quiescent(self, state: State) -> bool:

@@ -24,6 +24,7 @@ _METRICS: dict[str, tuple[str, str]] = {
     "engine": ("rounds_per_sec", "rounds/s"),
     "replicate": ("reps_per_sec", "reps/s"),
     "batched": ("speedup_vs_serial", "x vs serial"),
+    "hybrid": ("user_rounds_per_sec", "user-rounds/s"),
     "query": ("cache_speedup", "x speedup"),
     "obs": ("enabled_rounds_per_sec", "rounds/s"),
     "runs": ("speedup_2w", "x speedup"),

@@ -69,7 +69,13 @@ from .sweep import (
     sweep_status,
     sweepable_experiments,
 )
-from .watch import render_watch, sweep_snapshot, watch
+from .watch import (
+    render_watch,
+    render_workers,
+    sweep_snapshot,
+    watch,
+    workers_roster,
+)
 
 __all__ = [
     "CELL_SCHEMA",
@@ -102,6 +108,7 @@ __all__ = [
     "render_only_active",
     "render_status",
     "render_watch",
+    "render_workers",
     "results_from_payload",
     "resume_sweep",
     "run_cells",
@@ -114,4 +121,5 @@ __all__ = [
     "sweepable_experiments",
     "use_store",
     "watch",
+    "workers_roster",
 ]

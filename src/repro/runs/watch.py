@@ -23,7 +23,14 @@ from typing import Any
 from ..obs.aggregate import cell_digest, cell_event_files
 from .journal import read_journal
 
-__all__ = ["STALE_HEARTBEAT_S", "sweep_snapshot", "render_watch", "watch"]
+__all__ = [
+    "STALE_HEARTBEAT_S",
+    "sweep_snapshot",
+    "render_watch",
+    "watch",
+    "workers_roster",
+    "render_workers",
+]
 
 # Distributed sweeps additionally leave a live worker table
 # (workers.json, maintained by the repro.runs.net coordinator); the
@@ -32,6 +39,61 @@ __all__ = ["STALE_HEARTBEAT_S", "sweep_snapshot", "render_watch", "watch"]
 #: A running cell whose last event is older than this is flagged — its
 #: worker is either inside a very long round or gone.
 STALE_HEARTBEAT_S = 30.0
+
+
+def _worker_rows(worker_table: dict[str, Any], now: float) -> list[dict[str, Any]]:
+    """Normalize a ``runs-workers/v1`` table into dashboard/roster rows."""
+    rows: list[dict[str, Any]] = []
+    lease_by_worker = {
+        lease.get("worker"): lease for lease in worker_table.get("leases", [])
+    }
+    for info in worker_table.get("workers", []):
+        lease = lease_by_worker.get(info.get("id"))
+        last_seen = info.get("last_seen")
+        rows.append(
+            {
+                "id": info.get("id", "?"),
+                "host": info.get("host", "?"),
+                "pid": info.get("pid"),
+                "alive": bool(info.get("alive")),
+                "cells_done": int(info.get("cells_done") or 0),
+                "leased": info.get("leased"),
+                "leased_label": lease.get("label") if lease else None,
+                "heartbeat_age": (
+                    max(0.0, now - last_seen)
+                    if isinstance(last_seen, (int, float))
+                    else None
+                ),
+                "lease_expired": bool(
+                    lease
+                    and isinstance(lease.get("deadline"), (int, float))
+                    and lease["deadline"] < now
+                ),
+            }
+        )
+    return rows
+
+
+def workers_roster(
+    out: str | Path, *, now: float | None = None
+) -> list[dict[str, Any]] | None:
+    """Point-in-time roster of a distributed sweep's workers.
+
+    Reads the coordinator's ``workers.json`` alone (no journal needed, so
+    it works on a sweep dir that is mid-serve or being inspected post
+    mortem) and returns the same rows the ``runs watch`` dashboard shows:
+    id, host, pid, liveness, cells done, leased cell + label, heartbeat
+    age, expired-lease flag.  ``None`` when there is no (readable) worker
+    table — the sweep is not distributed, or the coordinator has not
+    started.
+    """
+    from .net import read_workers
+
+    now = time.time() if now is None else now
+    table = read_workers(Path(out))
+    if table is None:
+        return None
+    return _worker_rows(table, now)
 
 
 def sweep_snapshot(out: str | Path, *, now: float | None = None) -> dict[str, Any]:
@@ -56,33 +118,7 @@ def sweep_snapshot(out: str | Path, *, now: float | None = None) -> dict[str, An
     worker_rows: list[dict[str, Any]] = []
     worker_table = read_workers(out_dir)
     if worker_table is not None:
-        lease_by_worker = {
-            lease.get("worker"): lease for lease in worker_table.get("leases", [])
-        }
-        for info in worker_table.get("workers", []):
-            lease = lease_by_worker.get(info.get("id"))
-            last_seen = info.get("last_seen")
-            worker_rows.append(
-                {
-                    "id": info.get("id", "?"),
-                    "host": info.get("host", "?"),
-                    "pid": info.get("pid"),
-                    "alive": bool(info.get("alive")),
-                    "cells_done": int(info.get("cells_done") or 0),
-                    "leased": info.get("leased"),
-                    "leased_label": lease.get("label") if lease else None,
-                    "heartbeat_age": (
-                        max(0.0, now - last_seen)
-                        if isinstance(last_seen, (int, float))
-                        else None
-                    ),
-                    "lease_expired": bool(
-                        lease
-                        and isinstance(lease.get("deadline"), (int, float))
-                        and lease["deadline"] < now
-                    ),
-                }
-            )
+        worker_rows = _worker_rows(worker_table, now)
 
     cells: list[dict[str, Any]] = []
     counts = {"finished": 0, "failed": 0, "running": 0, "pending": 0}
@@ -178,6 +214,45 @@ def _fmt_eta(seconds: float | None) -> str:
     return f"{seconds / 3600:.1f}h"
 
 
+def _worker_lines(workers: list[dict[str, Any]], max_rows: int) -> list[str]:
+    """Per-worker roster lines shared by the dashboard and ``runs workers``."""
+    lines = []
+    for w in workers[:max_rows]:
+        age = w["heartbeat_age"]
+        stale = w["lease_expired"] or (
+            w["alive"] and age is not None and age > STALE_HEARTBEAT_S
+        )
+        leased = (
+            f"{w['leased'][:12]} {w['leased_label'] or ''}".rstrip()
+            if w["leased"]
+            else ("idle" if w["alive"] else "gone")
+        )
+        flag = "!" if stale else (" " if w["alive"] else "x")
+        lines.append(
+            f"    {_fmt_age(age)}{flag} {w['id']:<4} {w['host']:<16} "
+            f"done {w['cells_done']:>3}  {leased}"
+            + ("  [lease expired]" if w["lease_expired"] else "")
+        )
+    if len(workers) > max_rows:
+        lines.append(f"    … and {len(workers) - max_rows} more")
+    return lines
+
+
+def render_workers(
+    workers: list[dict[str, Any]], *, max_rows: int = 50
+) -> str:
+    """Draw a :func:`workers_roster` as a plain-text table."""
+    alive = sum(1 for w in workers if w["alive"])
+    expired = sum(1 for w in workers if w["lease_expired"])
+    lines = [
+        f"workers — {alive}/{len(workers)} alive"
+        + (f"  ·  {expired} expired lease(s)" if expired else ""),
+        "  (heartbeat age · id · host · cells done · leased cell)",
+    ]
+    lines.extend(_worker_lines(workers, max_rows))
+    return "\n".join(lines)
+
+
 def render_watch(snapshot: dict[str, Any], *, max_rows: int = 12) -> str:
     """Draw one snapshot as a terminal dashboard (plain string)."""
     from ..viz.ascii import progress_bar
@@ -207,24 +282,7 @@ def render_watch(snapshot: dict[str, Any], *, max_rows: int = 12) -> str:
     if workers:
         lines.append("")
         lines.append("  workers (heartbeat age · leased cell):")
-        for w in workers[:max_rows]:
-            age = w["heartbeat_age"]
-            stale = w["lease_expired"] or (
-                w["alive"] and age is not None and age > STALE_HEARTBEAT_S
-            )
-            leased = (
-                f"{w['leased'][:12]} {w['leased_label'] or ''}".rstrip()
-                if w["leased"]
-                else ("idle" if w["alive"] else "gone")
-            )
-            flag = "!" if stale else (" " if w["alive"] else "x")
-            lines.append(
-                f"    {_fmt_age(age)}{flag} {w['id']:<4} {w['host']:<16} "
-                f"done {w['cells_done']:>3}  {leased}"
-                + ("  [lease expired]" if w["lease_expired"] else "")
-            )
-        if len(workers) > max_rows:
-            lines.append(f"    … and {len(workers) - max_rows} more")
+        lines.extend(_worker_lines(workers, max_rows))
 
     running = [c for c in snapshot["cells"] if c["state"] == "running"]
     if running:

@@ -17,13 +17,14 @@ Each replication owns an independent generator stream (integer seeds go
 through ``numpy.random.default_rng``, exactly like the scalar path) and
 the batched engine makes that stream's calls in **exactly the scalar
 engine's order and sizes** (initial-state draw, then per executed round:
-the alpha activation mask, the mover target draw, the mover uniform draw).
-All arithmetic between draws is elementwise-identical IEEE float work, so
-the scalar engine fed the *same* stream reproduces a batched replication
-**bit for bit** — and because :func:`replicate_batched` derives the same
-per-rep integer seeds as the serial path, ``backend="serial"`` and
-``backend="batched"`` produce **bit-identical** per-rep results, not just
-distributionally equivalent ones.  The differential tests pin both.
+the alpha activation mask, the mover target/probe draws, the commit
+uniforms — in each kernel's scalar order).  All arithmetic between draws
+is elementwise-identical IEEE float work, so the scalar engine fed the
+*same* stream reproduces a batched replication **bit for bit** — and
+because :func:`replicate_batched` derives the same per-rep integer seeds
+as the serial path, ``backend="serial"`` and ``backend="batched"``
+produce **bit-identical** per-rep results, not just distributionally
+equivalent ones.  The differential tests pin both.
 
 Termination is per-replication via an ``alive`` mask: a replication that
 satisfies, goes quiescent, or exhausts the budget leaves the batch and
@@ -33,24 +34,37 @@ run's, which is what makes mixed-length batches replayable.
 Kernel coverage
 ---------------
 
-Batched kernels exist for :class:`~repro.core.protocols.QoSSamplingProtocol`
-(without ``resample_on_self``) under the constant, slack-proportional and
-adaptive-backoff rate rules, with synchronous and alpha schedules, complete
-or restricted access maps, and any latency profile.  Everything else —
-other protocol families, custom rates, partition/staggered schedules,
-per-rep instance seeding — transparently falls back to the scalar engine
-via :func:`~repro.sim.parallel.replicate`'s backend selection; see
+Batched kernels exist for four protocol families —
+:class:`~repro.core.protocols.QoSSamplingProtocol` (without
+``resample_on_self``), :class:`~repro.core.protocols.MultiProbeProtocol`,
+:class:`~repro.core.protocols.PermitProtocol`, and
+:class:`~repro.core.protocols.NeighborhoodSamplingProtocol` — under the
+constant, slack-proportional and adaptive-backoff rate rules (the permit
+protocol's grant rule has no rate), with synchronous and alpha schedules,
+complete or restricted access maps, and any latency profile.  Scheduled
+events batch too (:func:`batch_events_support`): resource failures and
+recoveries, user arrivals, and explicit-user departures apply per
+replication at round boundaries with the scalar event code itself, so
+churn/failure schedules keep their bit-exact RNG contract.  Everything
+else — other protocol families, custom rates, partition/staggered
+schedules, per-rep instance seeding, random-count departures —
+transparently falls back to the scalar engine via
+:func:`~repro.sim.parallel.replicate`'s backend selection; see
 :func:`batch_support` for the reason a given spec is not batchable.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
 from ..core.instance import Instance
 from ..core.memory import index_dtype, iter_chunks
+from ..core.protocols.multiprobe import MultiProbeProtocol
+from ..core.protocols.neighborhood import NeighborhoodSamplingProtocol
+from ..core.protocols.permit import PermitProtocol
 from ..core.protocols.rates import (
     AdaptiveBackoffRate,
     ConstantRate,
@@ -61,6 +75,13 @@ from ..core.state import State
 from ..obs import HUB as _OBS
 from ..obs.hub import HEARTBEAT_INTERVAL_S, PROGRESS_INTERVAL_S
 from .engine import RunResult, _seed_value
+from .events import (
+    Event,
+    ResourceFailure,
+    ResourceRecovery,
+    UserArrival,
+    UserDeparture,
+)
 from .rng import seed_from_key
 from .schedule import AlphaSchedule, Schedule, SynchronousSchedule
 
@@ -69,8 +90,15 @@ __all__ = [
     "run_batch",
     "batch_support",
     "batch_supported",
+    "batch_events_support",
     "replicate_batched",
 ]
+
+#: Rate rules with a batched commit kernel.
+_KERNEL_RATES = (ConstantRate, SlackProportionalRate, AdaptiveBackoffRate)
+
+#: Spec-level protocol names with a batched kernel (see ``_kernel_kind``).
+_KERNEL_PROTOCOL_NAMES = ("qos-sampling", "multi-probe", "permit", "neighborhood")
 
 
 @dataclass
@@ -96,6 +124,9 @@ class BatchRunResult:
     schedule: dict
     seeds: list[int | None]
     final_assignment: np.ndarray = field(repr=False)
+    # Events fire at the same boundary for every replication, so one scalar
+    # covers the batch (None = the run had no events).
+    last_event_round: int | None = None
 
     @property
     def n_reps(self) -> int:
@@ -117,7 +148,7 @@ class BatchRunResult:
                     n_users=self.n_users,
                     n_resources=self.n_resources,
                     satisfying_round=None if sr < 0 else sr,
-                    last_event_round=None,
+                    last_event_round=self.last_event_round,
                     protocol=self.protocol,
                     schedule=self.schedule,
                     seed=self.seeds[i],
@@ -126,16 +157,56 @@ class BatchRunResult:
         return out
 
 
+def _kernel_kind(protocol) -> str | None:
+    """Which batched kernel runs this protocol instance (None = no kernel).
+
+    Exact-type checks on purpose: a subclass may override ``propose`` and
+    silently diverge from the vectorized math, so it falls back to the
+    scalar engine instead.
+    """
+    t = type(protocol)
+    if t is QoSSamplingProtocol:
+        return "sampling"
+    if t is MultiProbeProtocol:
+        return "multiprobe"
+    if t is PermitProtocol:
+        return "permit"
+    if t is NeighborhoodSamplingProtocol:
+        return "neighborhood"
+    return None
+
+
 def _kernel_support(protocol, schedule) -> str | None:
     """Why this protocol/schedule pair has no batched kernel (None = it has)."""
-    if type(protocol) is not QoSSamplingProtocol:
+    kind = _kernel_kind(protocol)
+    if kind is None:
         return f"protocol {getattr(protocol, 'name', protocol)!r} has no batched kernel"
-    if protocol.resample_on_self:
+    if kind == "sampling" and protocol.resample_on_self:
         return "resample_on_self makes the per-round draw count data-dependent"
-    if type(protocol.rate) not in (ConstantRate, SlackProportionalRate, AdaptiveBackoffRate):
+    if kind != "permit" and type(protocol.rate) not in _KERNEL_RATES:
         return f"rate {protocol.rate.name!r} has no batched kernel"
     if type(schedule) not in (SynchronousSchedule, AlphaSchedule):
         return f"schedule {schedule.name!r} has no batched kernel"
+    return None
+
+
+def batch_events_support(events: Sequence[Event]) -> str | None:
+    """Why these events cannot run on the batched engine — ``None`` if they can.
+
+    Supported events are exactly those whose *instance* transformation is
+    deterministic: all replications must keep simulating the same instance
+    (only assignments differ per rep).  Random-count departures draw a
+    different surviving-user set per replication, so they fall back.
+    """
+    for ev in events:
+        if isinstance(ev, UserDeparture):
+            if ev.users is None:
+                return (
+                    "random-count user departures draw a different instance "
+                    "per replication"
+                )
+        elif not isinstance(ev, (ResourceFailure, ResourceRecovery, UserArrival)):
+            return f"event {type(ev).__name__} has no batched application"
     return None
 
 
@@ -149,13 +220,40 @@ def batch_support(spec) -> str | None:
         return f"initial={spec.initial!r} (batched engine supports 'random'/'pile')"
     if spec.instance_seed_key != "fixed":
         return "per-rep instance seeding: each replication simulates a different instance"
-    if spec.protocol != "qos-sampling":
+    if spec.protocol not in _KERNEL_PROTOCOL_NAMES:
         return f"protocol {spec.protocol!r} has no batched kernel"
-    from ..registry import build_protocol, build_schedule  # lazy: registry is heavy
+    from ..registry import (  # lazy: registry is heavy
+        build_protocol,
+        build_rate,
+        build_schedule,
+    )
 
     try:
-        protocol = build_protocol(spec.protocol, **dict(spec.protocol_kwargs))
         schedule = build_schedule(spec.schedule, **dict(spec.schedule_kwargs))
+    except Exception as exc:
+        return f"spec does not build: {exc!r}"
+    if spec.protocol == "neighborhood":
+        # The graph needs the instance's m, which batch_support must not
+        # build — check the rate and topology name directly instead; the
+        # actual graph construction (and its validation) happens inside
+        # replicate_batched via the shared _spec_components path.
+        from ..workloads.topology import TOPOLOGIES
+
+        kwargs = dict(spec.protocol_kwargs)
+        if kwargs.get("topology") not in TOPOLOGIES:
+            return f"spec does not build: unknown topology {kwargs.get('topology')!r}"
+        try:
+            rate = build_rate(kwargs.get("rate"))
+        except Exception as exc:
+            return f"spec does not build: {exc!r}"
+        rate = rate if rate is not None else ConstantRate(0.5)
+        if type(rate) not in _KERNEL_RATES:
+            return f"rate {rate.name!r} has no batched kernel"
+        if type(schedule) not in (SynchronousSchedule, AlphaSchedule):
+            return f"schedule {schedule.name!r} has no batched kernel"
+        return None
+    try:
+        protocol = build_protocol(spec.protocol, **dict(spec.protocol_kwargs))
     except Exception as exc:
         return f"spec does not build: {exc!r}"
     return _kernel_support(protocol, schedule)
@@ -189,25 +287,738 @@ def _batch_initial(
     return assignment
 
 
+class _BatchEngine:
+    """One lockstep batch: live-row state plus the per-kernel round step.
+
+    Live-batch state arrays hold only still-running replications and are
+    compacted whenever one dies, so steady-state rounds never
+    gather/scatter the full batch.  ``rows`` maps live positions back to
+    replication ids; ``assignment`` (full ``R`` rows) is refreshed on
+    death.  ``asgF`` carries each live row's flat offset (position * m)
+    baked into the values, so every per-mover gather/scatter is one flat
+    ``take``/put.  While events are pending every replication stays live
+    (the scalar engine neither satisfies nor goes quiescent with events
+    outstanding), which is what makes the shared-instance rebuild at an
+    event boundary sound.
+    """
+
+    def __init__(
+        self,
+        instance: Instance,
+        protocol,
+        kind: str,
+        schedule: Schedule,
+        rngs: list[np.random.Generator],
+        max_rounds: int,
+        initial: str,
+        events: Sequence[Event],
+    ):
+        self.protocol = protocol
+        self.kind = kind
+        self.schedule = schedule
+        self.max_rounds = max_rounds
+        self.rate = getattr(protocol, "rate", None)
+        self.backoff = type(self.rate) is AdaptiveBackoffRate
+        self.phases = int(getattr(protocol, "phases", 1))
+        self.d = int(getattr(protocol, "d", 1))
+        self.graph = getattr(protocol, "graph", None)
+        self.alpha_draws = isinstance(schedule, AlphaSchedule) and schedule.alpha < 1.0
+        self.alpha = schedule.alpha if isinstance(schedule, AlphaSchedule) else 1.0
+        self.events = sorted(events, key=lambda e: e.round_index)
+        self.event_idx = 0
+        self.last_event_round: int | None = None
+
+        R = len(rngs)
+        self.R = R
+        self.rows = np.arange(R, dtype=np.int64)
+        self.live_rngs = list(rngs)
+        self.row_off = np.arange(R, dtype=np.int64) * instance.n_resources
+
+        self.statuses = ["max_rounds"] * R
+        self.rounds = np.zeros(R, dtype=np.int64)
+        self.rounds_executed = np.zeros(R, dtype=np.int64)
+        self.total_moves = np.zeros(R, dtype=np.int64)
+        self.total_attempts = np.zeros(R, dtype=np.int64)
+        self.total_messages = np.zeros(R, dtype=np.int64)
+        self.n_satisfied_final = np.zeros(R, dtype=np.int64)
+        self.satisfying_rounds = np.full(R, -1, dtype=np.int64)
+        self.quiescence_dirty = np.ones(R, dtype=bool)
+
+        self._bind_instance(instance)
+        self._rebuild_state(_batch_initial(instance, initial, rngs))
+
+    # -- instance-dependent caches (rebound after churn/failure events) ------
+
+    def _bind_instance(self, instance: Instance) -> None:
+        self.instance = instance
+        n, m, R = instance.n_users, instance.n_resources, self.R
+        self.n, self.m = n, m
+        thresholds = instance.thresholds
+        weights = instance.weights
+        profile = instance.latencies
+        self.thresholds = thresholds
+        self.weights = weights
+        self.profile = profile
+        self.access = instance.access
+        self.affine = profile.is_affine
+        self.slopes, self.offsets = profile._slopes, profile._offsets
+        # Uniformity specializations: homogeneous thresholds/weights/latencies
+        # collapse per-mover gathers into scalar broadcasts.  Every branch
+        # they gate computes bit-identical values to the general path
+        # (1.0 * x + 0.0 only ever feeds comparisons, where the zero sign
+        # cannot matter).
+        self.uthr = n > 0 and bool((thresholds == thresholds[0]).all())
+        self.q0 = float(thresholds[0]) if self.uthr else 0.0
+        self.uw = bool((weights == 1.0).all())
+        self.u_affine = (
+            self.affine
+            and m > 0
+            and bool((self.slopes == self.slopes[0]).all())
+            and bool((self.offsets == self.offsets[0]).all())
+        )
+        self.s0 = float(self.slopes[0]) if self.u_affine else 0.0
+        self.o0 = float(self.offsets[0]) if self.u_affine else 0.0
+        self.identity = self.u_affine and self.s0 == 1.0 and self.o0 == 0.0
+        # Row-independent per-user/per-resource lookups, tiled once so a flat
+        # position into the (A, n)/(A, m) live block indexes them directly.
+        self.wF = None if self.uw else np.tile(weights, R)
+        self.thrF = None if self.uthr else np.tile(thresholds, R)
+        aff_general = self.affine and not self.u_affine
+        self.slF = np.tile(self.slopes, R) if aff_general else None
+        self.offF = np.tile(self.offsets, R) if aff_general else None
+        self.capRF = None  # lazy per-resource capacity tile (slack + uniform q)
+        # Reused per-round scratch, sliced to the live count.
+        self.usr_buf = np.empty((R, n), dtype=np.float64)
+        self.unsat_buf = np.empty((R, n), dtype=bool)
+        self.act_buf = np.empty((R, n), dtype=bool) if self.alpha_draws else None
+
+    def _rebuild_state(self, assignment: np.ndarray) -> None:
+        """(Re-)stack assignment/load/rate state; every replication is live."""
+        R, m = self.R, self.m
+        self.assignment = assignment
+        # Flat values span [0, R*m); the dtype audit stores them in the
+        # narrowest width that holds that bound.
+        asgF = assignment.astype(index_dtype(R * m))
+        asgF += self.row_off[:, None].astype(asgF.dtype)
+        self.asgF = asgF
+        ld = np.empty((R, m), dtype=np.float64)
+        for i in range(R):  # per-row bincount: same bucket order as State
+            ld[i] = np.bincount(assignment[i], weights=self.weights, minlength=m)
+        self.ld = ld
+        # The scalar engine's protocol.reset/schedule.reset consume no RNG
+        # for the supported kernels; the only per-run rate state is the
+        # backoff probability vector, kept stacked here.
+        self.P = np.full((R, self.n), self.rate.p0) if self.backoff else None
+
+    # -- events ---------------------------------------------------------------
+
+    def _apply_events(self, round_index: int) -> None:
+        """Apply every event due at this boundary, per replication.
+
+        Each replication replays the *scalar* event code with its own RNG
+        stream, so arrival placements consume exactly the scalar draws.
+        Supported events transform the instance deterministically, so the
+        first replication's rebuilt instance serves the whole batch; only
+        the assignments differ per rep.
+        """
+        applied = False
+        while (
+            self.event_idx < len(self.events)
+            and self.events[self.event_idx].round_index <= round_index
+        ):
+            ev = self.events[self.event_idx]
+            instance = self.instance
+            row_off = self.row_off
+            new_instance = None
+            new_rows: list[np.ndarray] = []
+            for k in range(self.R):
+                asg_k = self.asgF[k].astype(np.int64) - int(row_off[k])
+                inst_k, st_k = ev.apply(
+                    instance, State(instance, asg_k), self.live_rngs[k]
+                )
+                if new_instance is None:
+                    new_instance = inst_k
+                new_rows.append(np.asarray(st_k.assignment))
+            if (
+                self.kind == "neighborhood"
+                and self.graph.n_resources != new_instance.n_resources
+            ):  # mirrors NeighborhoodSamplingProtocol.reset's validation
+                raise ValueError("resource graph size does not match the instance")
+            self._bind_instance(new_instance)
+            assignment = np.empty((self.R, self.n), dtype=index_dtype(self.m))
+            for k in range(self.R):
+                assignment[k] = new_rows[k]
+            self._rebuild_state(assignment)
+            self.last_event_round = round_index
+            self.satisfying_rounds[:] = -1  # re-converge after perturbation
+            self.event_idx += 1
+            applied = True
+        if applied:
+            self.quiescence_dirty[:] = True
+
+    # -- latency helpers ------------------------------------------------------
+
+    def _res_latencies(self) -> np.ndarray:
+        ld = self.ld
+        if self.affine:
+            return self.slopes * ld + self.offsets
+        out = np.empty_like(ld)
+        for k in range(ld.shape[0]):  # grouped evaluation, one row at a time
+            out[k] = self.profile.evaluate(ld[k])
+        return out
+
+    def _probe_latency(self, t_probe, tf_probe, hyp):
+        """``ell_t(hyp)`` per probe — only ever fed to comparisons."""
+        if self.identity:
+            return hyp
+        if self.u_affine:
+            return self.s0 * hyp + self.o0
+        if self.affine:
+            return self.slF.take(tf_probe) * hyp + self.offF.take(tf_probe)
+        return self.profile.evaluate_at(t_probe, hyp)
+
+    # -- commit machinery -----------------------------------------------------
+
+    def _slack_probs(self, t_v, tf_v, of_v, u_pos_v, unsat, pos, A):
+        """SlackProportionalRate.commit_probs, batchwide and bit-identical."""
+        m = self.m
+        ldf = self.ld.reshape(-1)
+        if self.uthr:
+            if self.capRF is None:  # per-resource capacity at the one q
+                cap_row = self.profile.capacities_at(
+                    np.arange(m, dtype=np.int64), np.full(m, self.q0)
+                ).astype(np.float64)
+                self.capRF = np.tile(cap_row, self.R)
+            caps = self.capRF.take(tf_v)
+        else:
+            caps = self.profile.capacities_at(
+                t_v, self.thrF.take(u_pos_v)
+            ).astype(np.float64)
+        free = np.maximum(0.0, caps - ldf.take(tf_v))
+        # contention: unsatisfied users per current resource, batchwide
+        if self.uthr and self.uw:
+            # uniform q + unit weights: everyone on an over-threshold
+            # resource is unsatisfied, and a mover's own resource is over
+            # threshold — so the unsatisfied count there is just its load
+            # count, already tracked in ``ld``.
+            contention = np.maximum(ldf.take(of_v), 1.0)
+        else:
+            # (without alpha masking the mover positions are exactly the
+            # unsatisfied positions, so the scan is already done)
+            unsat_pos = pos if not self.alpha_draws else np.flatnonzero(unsat)
+            asg_flat = self.asgF.reshape(-1)
+            # Integer bincounts are exact, so accumulating per chunk is
+            # bit-identical to one whole-width pass (memory contract).
+            occ = np.zeros(A * m, dtype=np.int64)
+            for cs, ce in iter_chunks(unsat_pos.size):
+                occ += np.bincount(
+                    asg_flat.take(unsat_pos[cs:ce]), minlength=A * m
+                )
+            contention = np.maximum(occ.take(of_v), 1)
+        return np.clip(free / contention, self.rate.floor, 1.0)
+
+    def _commit_uniforms(self, valid_pos: np.ndarray, A: int) -> np.ndarray:
+        """Per-rep commit uniforms, in each stream's scalar order.
+
+        The scalar protocols call ``rate.commit_mask`` only when at least
+        one valid mover survived the filters (``propose`` returns early
+        otherwise), so replications with zero valid movers draw nothing.
+        """
+        cnt = np.bincount(valid_pos // self.n, minlength=A)
+        unif = np.empty(valid_pos.size, dtype=np.float64)
+        off = 0
+        for k in range(A):
+            c = int(cnt[k])
+            if c == 0:
+                continue
+            unif[off : off + c] = self.live_rngs[k].random(c)
+            off += c
+        return unif
+
+    def _commit_select(self, valid_pos, valid_t, valid_tf, unsat, pos, A):
+        """Rate-rule commit over the valid movers (multi-probe/neighborhood)."""
+        if valid_pos.size == 0:
+            z = np.empty(0, dtype=np.int64)
+            return z, z, z
+        unif = self._commit_uniforms(valid_pos, A)
+        rate = self.rate
+        if type(rate) is ConstantRate:
+            keep = unif < rate.p
+        elif self.backoff:
+            keep = unif < self.P.reshape(-1).take(valid_pos)
+        else:
+            of_v = self.asgF.reshape(-1).take(valid_pos)
+            probs = self._slack_probs(
+                valid_t, valid_tf, of_v, valid_pos, unsat, pos, A
+            )
+            keep = unif < probs
+        idx = np.flatnonzero(keep)
+        return valid_pos.take(idx), valid_t.take(idx), valid_tf.take(idx)
+
+    # -- kernels (each returns committed (flat users, resources, flat targets))
+
+    def _kernel_sampling(self, pos, counts, bounds, rkm, unsat, A):
+        M = pos.size
+        m, n = self.m, self.n
+        t = np.empty(M, dtype=np.int64)
+        unif = np.empty(M, dtype=np.float64)
+        u_all = pos % n if self.access is not None else None
+        for k in range(A):
+            s, e = bounds[k], bounds[k + 1]
+            if s == e:  # the scalar propose draws nothing for 0 movers
+                continue
+            rng = self.live_rngs[k]
+            if self.access is None:
+                t[s:e] = rng.integers(0, m, size=e - s)
+            else:
+                t[s:e] = self.access.sample(u_all[s:e], rng)
+            unif[s:e] = rng.random(e - s)
+
+        # The committed set is one AND of independent masks — commit,
+        # moving, would-satisfy — so when the commit probability needs no
+        # would-satisfy math (constant/backoff rates) it runs first and
+        # the latency math only touches its survivors.
+        rate = self.rate
+        asg_flat = self.asgF.reshape(-1)
+        ldf = self.ld.reshape(-1)
+        if type(rate) is ConstantRate:
+            cand = np.flatnonzero(unif < rate.p)
+        elif self.backoff:
+            cand = np.flatnonzero(unif < self.P.reshape(-1).take(pos))
+        else:
+            cand = None  # slack-proportional: probabilities need the math
+
+        if cand is not None:
+            pos_c, t_c, rkm_c = pos.take(cand), t.take(cand), rkm.take(cand)
+            # The probe math here is purely elementwise per mover, so it
+            # streams over chunks (bit-exact by construction) and only the
+            # surviving indices are kept full-width.
+            parts = []
+            for cs, ce in iter_chunks(pos_c.size):
+                p_ch, t_ch = pos_c[cs:ce], t_c[cs:ce]
+                tf_ch = rkm_c[cs:ce] + t_ch
+                moving = tf_ch != asg_flat.take(p_ch)
+                hyp = ldf.take(tf_ch) + (
+                    np.where(moving, 1.0, 0.0)
+                    if self.uw
+                    else np.where(moving, self.wF.take(p_ch), 0.0)
+                )
+                lat = self._probe_latency(t_ch, tf_ch, hyp)
+                thr_c = self.q0 if self.uthr else self.thrF.take(p_ch)
+                part = np.flatnonzero((lat <= thr_c) & moving)
+                if cs:
+                    part += cs
+                parts.append(part)
+            if not parts:
+                idx = np.empty(0, dtype=np.int64)
+            elif len(parts) == 1:
+                idx = parts[0]
+            else:
+                idx = np.concatenate(parts)
+            fu_f, t_f = pos_c.take(idx), t_c.take(idx)
+            tf_f = rkm_c.take(idx) + t_f
+        else:
+            tf = rkm + t
+            of = asg_flat.take(pos)
+            moving = tf != of
+            hyp = ldf.take(tf) + (
+                np.where(moving, 1.0, 0.0)
+                if self.uw
+                else np.where(moving, self.wF.take(pos), 0.0)
+            )
+            lat = self._probe_latency(t, tf, hyp)
+            thr_all = self.q0 if self.uthr else self.thrF.take(pos)
+            oidx = np.flatnonzero((lat <= thr_all) & moving)
+            pos_o, tf_o, of_o, t_o = (
+                pos.take(oidx), tf.take(oidx), of.take(oidx), t.take(oidx)
+            )
+            probs = self._slack_probs(t_o, tf_o, of_o, pos_o, unsat, pos, A)
+            idx = np.flatnonzero(unif.take(oidx) < probs)
+            fu_f, tf_f, t_f = pos_o.take(idx), tf_o.take(idx), t_o.take(idx)
+        return fu_f, t_f, tf_f
+
+    def _kernel_multiprobe(self, pos, counts, bounds, rkm, unsat, A):
+        M = pos.size
+        m, n, d = self.m, self.n, self.d
+        cand = np.empty(M * d, dtype=np.int64)
+        u_all = pos % n if self.access is not None else None
+        for k in range(A):
+            s, e = bounds[k], bounds[k + 1]
+            if s == e:
+                continue
+            rng = self.live_rngs[k]
+            if self.access is None:
+                # size=(k, d) fills row-major: the stream consumption and
+                # the flattened values equal the scalar (k, d) draw exactly.
+                cand[s * d : e * d] = rng.integers(0, m, size=(e - s, d)).reshape(-1)
+            else:
+                cand[s * d : e * d] = self.access.sample(
+                    np.repeat(u_all[s:e], d), rng
+                )
+        rkm_d = np.repeat(rkm, d)
+        tfc = rkm_d + cand  # flat probe targets, (M*d,)
+        asg_flat = self.asgF.reshape(-1)
+        ldf = self.ld.reshape(-1)
+        # The scalar protocol adds the mover's weight unconditionally (even
+        # for own-resource probes — those are masked out below, not here).
+        hyp = ldf.take(tfc) + (
+            1.0 if self.uw else np.repeat(self.wF.take(pos), d)
+        )
+        lat = self._probe_latency(cand, tfc, hyp).reshape(M, d)
+        ownF = asg_flat.take(pos)
+        thr = self.q0 if self.uthr else self.thrF.take(pos)[:, None]
+        valid = (lat <= thr) & (tfc.reshape(M, d) != ownF.astype(np.int64)[:, None])
+        # Max headroom = min post-arrival latency among valid probes.
+        lat_masked = np.where(valid, lat, np.inf)
+        best = np.argmin(lat_masked, axis=1)
+        ar = np.arange(M)
+        has = valid[ar, best]
+        vidx = np.flatnonzero(has)
+        valid_pos = pos.take(vidx)
+        valid_tf = tfc[ar * d + best].take(vidx)
+        valid_t = valid_tf - rkm.take(vidx)
+        return self._commit_select(valid_pos, valid_t, valid_tf, unsat, pos, A)
+
+    def _kernel_neighborhood(self, pos, counts, bounds, rkm, unsat, A):
+        M = pos.size
+        n = self.n
+        asg_flat = self.asgF.reshape(-1)
+        own_r = asg_flat.take(pos).astype(np.int64) - rkm
+        t = np.empty(M, dtype=np.int64)
+        for k in range(A):
+            s, e = bounds[k], bounds[k + 1]
+            if s == e:
+                continue
+            t[s:e] = self.graph.sample_neighbor(own_r[s:e], self.live_rngs[k])
+        tf = rkm + t
+        not_self = t != own_r
+        ldf = self.ld.reshape(-1)
+        # Mirrors State.would_satisfy: a self-probe evaluates the target at
+        # its *current* load (the user already counts), others add weight.
+        hyp = ldf.take(tf) + (
+            np.where(not_self, 1.0, 0.0)
+            if self.uw
+            else np.where(not_self, self.wF.take(pos), 0.0)
+        )
+        lat = self._probe_latency(t, tf, hyp)
+        ok = lat <= (self.q0 if self.uthr else self.thrF.take(pos))
+        ok &= not_self
+        if self.access is not None:
+            # The resource graph knows nothing about per-user accessibility:
+            # drop probes of forbidden resources (wasted, like a self-sample).
+            ok &= self.access.contains(pos % n, t)
+        vidx = np.flatnonzero(ok)
+        return self._commit_select(
+            pos.take(vidx), t.take(vidx), tf.take(vidx), unsat, pos, A
+        )
+
+    def _kernel_permit(self, pos, counts, bounds, rkm, unsat, A):
+        M = pos.size
+        m, n = self.m, self.n
+        t = np.empty(M, dtype=np.int64)
+        u_all = pos % n if self.access is not None else None
+        for k in range(A):
+            s, e = bounds[k], bounds[k + 1]
+            if s == e:
+                continue
+            rng = self.live_rngs[k]
+            if self.access is None:
+                t[s:e] = rng.integers(0, m, size=e - s)
+            else:
+                t[s:e] = self.access.sample(u_all[s:e], rng)
+        asg_flat = self.asgF.reshape(-1)
+        tf = rkm + t
+        pidx = np.flatnonzero(tf != asg_flat.take(pos))
+        if pidx.size == 0:
+            z = np.empty(0, dtype=np.int64)
+            return z, z, z
+        pos_p, t_p, tf_p = pos.take(pidx), t.take(pidx), tf.take(pidx)
+
+        # Smallest threshold among *satisfied* residents of each (rep,
+        # resource): the binding constraint a grant must not violate.
+        # min over a set of floats is order-independent, so any exact
+        # accumulation matches the scalar np.minimum.at.
+        Am = A * m
+        resF = np.full(Am, np.inf)
+        sat_pos = np.flatnonzero(~unsat)
+        if sat_pos.size:
+            sat_asg = asg_flat.take(sat_pos)
+            if self.uthr:
+                # uniform q: occupied-by-a-satisfied-user == min equals q0
+                occ = np.bincount(sat_asg, minlength=Am)
+                resF[occ > 0] = self.q0
+            else:
+                np.minimum.at(resF, sat_asg, self.thrF.take(sat_pos))
+
+        # Group probes by (rep, target), each group sorted by threshold
+        # descending.  Flat targets separate replications, so one global
+        # sort reproduces every rep's scalar lexsort exactly (stable sorts,
+        # identical keys within a rep).
+        if self.uthr:
+            order = np.argsort(tf_p, kind="stable")
+            q_s = self.q0
+        else:
+            q_p = self.thrF.take(pos_p)
+            order = np.lexsort((-q_p, tf_p))
+            q_s = q_p.take(order)
+        pos_s, t_s, tf_s = pos_p.take(order), t_p.take(order), tf_p.take(order)
+        P2 = pos_s.size
+        seg_start = np.empty(P2, dtype=bool)
+        seg_start[0] = True
+        np.not_equal(tf_s[1:], tf_s[:-1], out=seg_start[1:])
+        starts = np.flatnonzero(seg_start)
+        seg_id = np.cumsum(seg_start) - 1
+        within = np.arange(P2, dtype=np.int64) - starts[seg_id]
+
+        # Cumulative granted weight within each group.  Unit weights:
+        # the integer rank + 1 is the exact float64 sum of 1.0s.  General
+        # weights: per-segment cumsum keeps the scalar summation order.
+        if self.uw:
+            cw = (within + 1).astype(np.float64)
+        else:
+            gw = self.wF.take(pos_s)
+            cw = np.empty(P2, dtype=np.float64)
+            bnd = np.append(starts, P2)
+            for si in range(starts.size):
+                a, b = bnd[si], bnd[si + 1]
+                np.cumsum(gw[a:b], out=cw[a:b])
+
+        ldf = self.ld.reshape(-1)
+        x = ldf.take(tf_s) + cw
+        latv = self._probe_latency(t_s, tf_s, x)
+        bound = np.minimum(resF.take(tf_s), q_s)
+        cond = latv <= bound
+        # Largest prefix before the first violation: both sides are
+        # monotone, so the scalar's early-exit scan grants exactly the
+        # entries ranked before the first failing one.
+        fail = np.where(cond, P2, within)
+        first_fail = np.minimum.reduceat(fail, starts)
+        gidx = np.flatnonzero(within < first_fail[seg_id])
+        return pos_s.take(gidx), t_s.take(gidx), tf_s.take(gidx)
+
+    # -- the round loop -------------------------------------------------------
+
+    def run(self) -> None:
+        kernel = {
+            "sampling": self._kernel_sampling,
+            "multiprobe": self._kernel_multiprobe,
+            "permit": self._kernel_permit,
+            "neighborhood": self._kernel_neighborhood,
+        }[self.kind]
+        max_rounds = self.max_rounds
+        n_events = len(self.events)
+
+        for round_index in range(max_rounds + 1):
+            if self.event_idx < n_events:
+                self._apply_events(round_index)
+            rows = self.rows
+            A = rows.size
+            if A == 0:
+                break
+            n, m = self.n, self.m
+            row_off = self.row_off
+            asgF, ld = self.asgF, self.ld
+
+            res_lat = self._res_latencies()
+            if self.uthr:
+                # Uniform threshold: mark bad *resources* once, then one bool
+                # gather — 1/8th the bandwidth of the float gather + compare.
+                res_bad = res_lat > self.q0
+                unsat = np.take(res_bad.reshape(-1), asgF, out=self.unsat_buf[:A])
+            else:
+                usr_lat = np.take(res_lat.reshape(-1), asgF, out=self.usr_buf[:A])
+                unsat = np.greater(usr_lat, self.thresholds, out=self.unsat_buf[:A])
+            n_unsat = np.count_nonzero(unsat, axis=1)
+
+            # Same liveness contract as the scalar engine: wall-clock
+            # throttled heartbeat/progress so a sweep worker running the
+            # batched backend is never dark to the coordinator.
+            if _OBS.active:
+                if _OBS.every("cell.heartbeat", HEARTBEAT_INTERVAL_S):
+                    _OBS.event(
+                        "cell.heartbeat",
+                        {
+                            "round": round_index,
+                            "live": int(A),
+                            "unsatisfied": int(n_unsat.sum()),
+                        },
+                    )
+                if _OBS.every("cell.progress", PROGRESS_INTERVAL_S):
+                    _OBS.event(
+                        "cell.progress",
+                        {
+                            "round": round_index,
+                            "max_rounds": max_rounds,
+                            "live": int(A),
+                            "reps": self.R,
+                            "unsatisfied": int(n_unsat.sum()),
+                            "n_users": n,
+                        },
+                    )
+
+            has_pending = self.event_idx < n_events
+            sat_now = n_unsat == 0
+            # The scalar engine records the first all-satisfied round even
+            # with events outstanding (events reset it), but only *stops*
+            # once none remain — satisfied reps keep executing (and keep
+            # drawing their alpha masks) until the last event has fired.
+            newly = sat_now & (self.satisfying_rounds[rows] < 0)
+            if newly.any():
+                self.satisfying_rounds[rows[newly]] = round_index
+            done = sat_now if not has_pending else np.zeros(A, dtype=bool)
+            if done.any():
+                dead = rows[done]
+                for r in dead:
+                    self.statuses[r] = "satisfying"
+                self.rounds[dead] = self.satisfying_rounds[dead]
+                self.n_satisfied_final[dead] = n
+                self.assignment[dead] = asgF[done] - row_off[:A][done][:, None]
+                keep = ~done
+                kept_off = row_off[:A][keep]
+                rows, ld, n_unsat = rows[keep], ld[keep], n_unsat[keep]
+                unsat = unsat[keep]  # copies out of the scratch buffer
+                asgF = asgF[keep]
+                A = rows.size
+                asgF -= (kept_off - row_off[:A])[:, None]  # re-base flat offsets
+                if self.backoff:
+                    self.P = self.P[keep]
+                self.live_rngs = [
+                    g for g, kp in zip(self.live_rngs, keep) if kp
+                ]
+                self.rows, self.asgF, self.ld = rows, asgF, ld
+                if A == 0:
+                    break
+            if round_index == max_rounds:
+                self.rounds[rows] = self.rounds_executed[rows]
+                self.n_satisfied_final[rows] = n - n_unsat
+                self.assignment[rows] = asgF - row_off[:A][:, None]
+                break
+
+            # -- per-rep RNG draws, in each stream's scalar order ------------
+            # Streams are independent, so interleaving *across* replications
+            # is free; what the parity contract fixes is the order *within*
+            # each stream — alpha mask, then the kernel's own draw sequence.
+            if self.alpha_draws:
+                act = self.act_buf[:A]
+                draws = self.usr_buf[:A]  # scratch rows; usr_lat is not read again
+                for k in range(A):
+                    self.live_rngs[k].random(out=draws[k])
+                np.less(draws, self.alpha, out=act)
+                act &= unsat
+                counts = np.count_nonzero(act, axis=1)
+                movers_src = act
+            else:
+                counts = n_unsat
+                movers_src = unsat
+            self.rounds_executed[rows] = round_index + 1
+            self.total_messages[rows] += counts * self.phases
+
+            pos = np.flatnonzero(movers_src)  # flat (row, user) mover positions
+            if pos.size:
+                bounds = np.zeros(A + 1, dtype=np.int64)
+                np.cumsum(counts, out=bounds[1:])
+                rkm = np.repeat(row_off[:A], counts)  # per-mover row offset
+                fu_f, t_f, tf_f = kernel(pos, counts, bounds, rkm, unsat, A)
+                n_committed = np.bincount(fu_f // n, minlength=A)
+                if fu_f.size:
+                    asg_flat = asgF.reshape(-1)
+                    of_f = asg_flat.take(fu_f)
+                    if self.uw:
+                        # unit weights: plain integer bincounts; the integer
+                        # count equals the serial sum of 1.0s exactly
+                        sub = np.bincount(of_f, minlength=A * m)
+                        add = np.bincount(tf_f, minlength=A * m)
+                    else:
+                        w_f = self.wF.take(fu_f)
+                        sub = np.bincount(of_f, weights=w_f, minlength=A * m)
+                        add = np.bincount(tf_f, weights=w_f, minlength=A * m)
+                    ld_flat = ld.reshape(-1)
+                    ld_flat -= sub  # (ld - sub) + add: the scalar IEEE order
+                    ld_flat += add
+                    asg_flat[fu_f] = tf_f
+                self.total_moves[rows] += n_committed
+                self.total_attempts[rows] += n_committed
+            else:
+                fu_f = tf_f = t_f = np.empty(0, dtype=np.int64)
+                n_committed = np.zeros(A, dtype=np.int64)
+
+            if self.backoff:
+                # Mirrors AdaptiveBackoffRate.observe: quiet users recover,
+                # movers keep p, movers *still* unsatisfied post-move back
+                # off (from the original p, not the recovered one).
+                rate = self.rate
+                recovered = np.minimum(self.P * rate.recover, 1.0)
+                if fu_f.size:
+                    p_moved = self.P.reshape(-1).take(fu_f)
+                    recovered.reshape(-1)[fu_f] = p_moved
+                    post_lat = self._probe_latency(
+                        t_f, tf_f, ld.reshape(-1).take(tf_f)
+                    )
+                    collided = post_lat > (
+                        self.q0 if self.uthr else self.thrF.take(fu_f)
+                    )
+                    recovered.reshape(-1)[fu_f[collided]] = np.maximum(
+                        p_moved[collided] * rate.backoff, rate.floor
+                    )
+                self.P = recovered
+
+            # -- per-rep quiescence (idle rounds only; same dirty dance) -----
+            moved_rows = n_committed > 0
+            self.quiescence_dirty[rows[moved_rows]] = True
+            if has_pending:
+                continue  # the scalar engine defers quiescence past events
+            check = ~moved_rows & self.quiescence_dirty[rows]
+            if check.any():
+                dead_q = np.zeros(A, dtype=bool)
+                for k in np.nonzero(check)[0]:
+                    r = rows[k]
+                    verdict = self.protocol.is_quiescent(
+                        State(self.instance, asgF[k] - k * m)
+                    )
+                    if verdict:
+                        self.statuses[r] = "quiescent"
+                        self.rounds[r] = self.rounds_executed[r]
+                        self.n_satisfied_final[r] = n - int(n_unsat[k])
+                        self.assignment[r] = asgF[k] - k * m
+                        dead_q[k] = True
+                    elif verdict is False:
+                        self.quiescence_dirty[r] = False
+                if dead_q.any():
+                    keep = ~dead_q
+                    kept_off = row_off[:A][keep]
+                    rows, ld = rows[keep], ld[keep]
+                    asgF = asgF[keep]
+                    asgF -= (kept_off - row_off[: rows.size])[:, None]
+                    if self.backoff:
+                        self.P = self.P[keep]
+                    self.live_rngs = [
+                        g for g, kp in zip(self.live_rngs, keep) if kp
+                    ]
+                    self.rows, self.asgF, self.ld = rows, asgF, ld
+
+
 def run_batch(
     instance: Instance,
-    protocol: QoSSamplingProtocol,
+    protocol,
     *,
     seeds: list[int | np.random.Generator],
     schedule: Schedule | None = None,
     max_rounds: int = 100_000,
     initial: str = "random",
+    events: Sequence[Event] = (),
 ) -> BatchRunResult:
     """Run ``len(seeds)`` replications of one configuration lockstep.
 
     ``seeds`` are integer seeds (each becomes an independent
     ``numpy.random.default_rng(seed)`` stream, the scalar path's mapping)
     or pre-built generators (exact-replay tests pass these to compare
-    streams against the scalar engine).
-    Raises :class:`ValueError` for protocol/schedule pairs without a
-    batched kernel — callers that want graceful degradation go through
-    :func:`~repro.sim.parallel.replicate`, which falls back to the scalar
-    path instead.
+    streams against the scalar engine).  ``events`` are applied per
+    replication at their round boundaries with the scalar event code
+    (:func:`batch_events_support` lists what batches).
+    Raises :class:`ValueError` for protocol/schedule/event combinations
+    without a batched kernel — callers that want graceful degradation go
+    through :func:`~repro.sim.parallel.replicate`, which falls back to the
+    scalar path instead.
     """
     if max_rounds < 0:
         raise ValueError("max_rounds must be non-negative")
@@ -217,376 +1028,46 @@ def run_batch(
     reason = _kernel_support(protocol, schedule)
     if reason is not None:
         raise ValueError(f"no batched kernel: {reason}")
+    for e in events:
+        if not isinstance(e, Event):
+            raise TypeError(f"expected Event, got {type(e)!r}")
+    reason = batch_events_support(events)
+    if reason is not None:
+        raise ValueError(f"no batched kernel: {reason}")
 
     rngs = [
         s if isinstance(s, np.random.Generator) else np.random.default_rng(s)
         for s in seeds
     ]
     seed_values: list[int | None] = [_seed_value(s) for s in seeds]
-    R, n, m = len(rngs), instance.n_users, instance.n_resources
-    thresholds = instance.thresholds
-    weights = instance.weights
-    profile = instance.latencies
-    access = instance.access
-    rate = protocol.rate
-    phases = int(getattr(protocol, "phases", 1))
-    alpha_draws = isinstance(schedule, AlphaSchedule) and schedule.alpha < 1.0
-    alpha = schedule.alpha if isinstance(schedule, AlphaSchedule) else 1.0
-    backoff = type(rate) is AdaptiveBackoffRate
 
-    assignment = _batch_initial(instance, initial, rngs)
-
-    # Live-batch state: these arrays hold only still-running replications
-    # and are compacted whenever one dies, so steady-state rounds never
-    # gather/scatter the full batch.  ``rows`` maps live positions back to
-    # replication ids; ``assignment`` is refreshed on death.  ``asgF``
-    # carries each live row's flat offset (position * m) baked into the
-    # values, so every per-mover gather/scatter is one flat ``take``/put.
-    row_off = np.arange(R, dtype=np.int64) * m
-    rows = np.arange(R, dtype=np.int64)
-    live_rngs = list(rngs)
-    # Flat values span [0, R*m); the dtype audit stores them in the
-    # narrowest width that holds that bound.
-    asgF = assignment.astype(index_dtype(R * m))
-    asgF += row_off[:, None].astype(asgF.dtype)
-    ld = np.empty((R, m), dtype=np.float64)
-    for i in range(R):  # per-row bincount: same bucket summation order as State
-        ld[i] = np.bincount(assignment[i], weights=weights, minlength=m)
-
-    # The scalar engine's protocol.reset/schedule.reset consume no RNG for
-    # the supported kernels; the only per-run rate state is the backoff
-    # probability vector, kept stacked here.
-    P = np.full((R, n), rate.p0) if backoff else None
-
-    statuses = ["max_rounds"] * R
-    rounds = np.zeros(R, dtype=np.int64)
-    rounds_executed = np.zeros(R, dtype=np.int64)
-    total_moves = np.zeros(R, dtype=np.int64)
-    total_attempts = np.zeros(R, dtype=np.int64)
-    total_messages = np.zeros(R, dtype=np.int64)
-    n_satisfied_final = np.zeros(R, dtype=np.int64)
-    satisfying_rounds = np.full(R, -1, dtype=np.int64)
-    quiescence_dirty = np.ones(R, dtype=bool)
-
-    affine = profile.is_affine
-    slopes, offsets = profile._slopes, profile._offsets
-    # Uniformity specializations: homogeneous thresholds/weights/latencies
-    # collapse per-mover gathers into scalar broadcasts.  Every branch they
-    # gate computes bit-identical values to the general path (1.0 * x + 0.0
-    # only ever feeds comparisons, where the zero sign cannot matter).
-    uthr = n > 0 and bool((thresholds == thresholds[0]).all())
-    q0 = float(thresholds[0]) if uthr else 0.0
-    uw = bool((weights == 1.0).all())
-    u_affine = (
-        affine
-        and m > 0
-        and bool((slopes == slopes[0]).all())
-        and bool((offsets == offsets[0]).all())
+    engine = _BatchEngine(
+        instance,
+        protocol,
+        _kernel_kind(protocol),
+        schedule,
+        rngs,
+        max_rounds,
+        initial,
+        events,
     )
-    s0 = float(slopes[0]) if u_affine else 0.0
-    o0 = float(offsets[0]) if u_affine else 0.0
-    identity = u_affine and s0 == 1.0 and o0 == 0.0
-    # Row-independent per-user/per-resource lookups, tiled once so a flat
-    # position into the (A, n)/(A, m) live block indexes them directly.
-    wF = None if uw else np.tile(weights, R)
-    thrF = None if uthr else np.tile(thresholds, R)
-    slF = np.tile(slopes, R) if affine and not u_affine else None
-    offF = np.tile(offsets, R) if affine and not u_affine else None
-    capRF = None  # lazy per-resource capacity tile (slack rate + uniform q)
-    # Reused per-round scratch, sliced to the live count.
-    usr_buf = np.empty((R, n), dtype=np.float64)
-    unsat_buf = np.empty((R, n), dtype=bool)
-    act_buf = np.empty((R, n), dtype=bool) if alpha_draws else None
-
-    def res_latencies(ld: np.ndarray) -> np.ndarray:
-        if affine:
-            return slopes * ld + offsets
-        out = np.empty_like(ld)
-        for k in range(ld.shape[0]):  # grouped evaluation, one row at a time
-            out[k] = profile.evaluate(ld[k])
-        return out
-
-    def probe_latency(t_probe, tf_probe, hyp):
-        """``ell_t(hyp)`` per probe — only ever fed to comparisons."""
-        if identity:
-            return hyp
-        if u_affine:
-            return s0 * hyp + o0
-        if affine:
-            return slF.take(tf_probe) * hyp + offF.take(tf_probe)
-        return profile.evaluate_at(t_probe, hyp)
-
-    for round_index in range(max_rounds + 1):
-        A = rows.size
-        if A == 0:
-            break
-        res_lat = res_latencies(ld)
-        if uthr:
-            # Uniform threshold: mark bad *resources* once, then one bool
-            # gather — 1/8th the bandwidth of the float gather + compare.
-            res_bad = res_lat > q0
-            unsat = np.take(res_bad.reshape(-1), asgF, out=unsat_buf[:A])
-        else:
-            usr_lat = np.take(res_lat.reshape(-1), asgF, out=usr_buf[:A])
-            unsat = np.greater(usr_lat, thresholds, out=unsat_buf[:A])
-        n_unsat = np.count_nonzero(unsat, axis=1)
-
-        # Same liveness contract as the scalar engine: wall-clock
-        # throttled heartbeat/progress so a sweep worker running the
-        # batched backend is never dark to the coordinator.
-        if _OBS.active:
-            if _OBS.every("cell.heartbeat", HEARTBEAT_INTERVAL_S):
-                _OBS.event(
-                    "cell.heartbeat",
-                    {"round": round_index, "live": int(A), "unsatisfied": int(n_unsat.sum())},
-                )
-            if _OBS.every("cell.progress", PROGRESS_INTERVAL_S):
-                _OBS.event(
-                    "cell.progress",
-                    {
-                        "round": round_index,
-                        "max_rounds": max_rounds,
-                        "live": int(A),
-                        "reps": R,
-                        "unsatisfied": int(n_unsat.sum()),
-                        "n_users": n,
-                    },
-                )
-
-        done = n_unsat == 0
-        if done.any():
-            dead = rows[done]
-            for r in dead:
-                statuses[r] = "satisfying"
-            satisfying_rounds[dead] = round_index
-            rounds[dead] = round_index
-            n_satisfied_final[dead] = n
-            assignment[dead] = asgF[done] - row_off[:A][done][:, None]
-            keep = ~done
-            kept_off = row_off[:A][keep]
-            rows, ld, n_unsat = rows[keep], ld[keep], n_unsat[keep]
-            unsat = unsat[keep]  # copies out of the scratch buffer
-            asgF = asgF[keep]
-            A = rows.size
-            asgF -= (kept_off - row_off[:A])[:, None]  # re-base flat offsets
-            if backoff:
-                P = P[keep]
-            live_rngs = [g for g, kp in zip(live_rngs, keep) if kp]
-            if A == 0:
-                break
-        if round_index == max_rounds:
-            rounds[rows] = rounds_executed[rows]
-            n_satisfied_final[rows] = n - n_unsat
-            assignment[rows] = asgF - row_off[:A][:, None]
-            break
-
-        # -- per-rep RNG draws, in each stream's scalar order ----------------
-        # Streams are independent, so interleaving *across* replications is
-        # free; what the parity contract fixes is the order *within* each
-        # stream — alpha mask, then targets, then uniforms — preserved here.
-        if alpha_draws:
-            act = act_buf[:A]
-            draws = usr_buf[:A]  # scratch rows; usr_lat is not read again
-            for k in range(A):
-                live_rngs[k].random(out=draws[k])
-            np.less(draws, alpha, out=act)
-            act &= unsat
-            counts = np.count_nonzero(act, axis=1)
-            movers_src = act
-        else:
-            counts = n_unsat
-            movers_src = unsat
-        rounds_executed[rows] = round_index + 1
-        total_messages[rows] += counts * phases
-
-        pos = np.flatnonzero(movers_src)  # flat (row, user) mover positions
-        M = pos.size
-        if M:
-            bounds = np.zeros(A + 1, dtype=np.int64)
-            np.cumsum(counts, out=bounds[1:])
-            t = np.empty(M, dtype=np.int64)
-            unif = np.empty(M, dtype=np.float64)
-            u_all = pos % n if access is not None else None
-            for k in range(A):
-                s, e = bounds[k], bounds[k + 1]
-                if s == e:  # the scalar propose draws nothing for 0 movers
-                    continue
-                rng = live_rngs[k]
-                if access is None:
-                    t[s:e] = rng.integers(0, m, size=e - s)
-                else:
-                    t[s:e] = access.sample(u_all[s:e], rng)
-                unif[s:e] = rng.random(e - s)
-            rkm = np.repeat(row_off[:A], counts)  # per-mover row offset, m units
-
-            # -- one vectorized protocol step for the whole batch ------------
-            # The committed set is one AND of independent masks — commit,
-            # moving, would-satisfy — so when the commit probability needs no
-            # would-satisfy math (constant/backoff rates) it runs first and
-            # the latency math only touches its survivors.
-            if type(rate) is ConstantRate:
-                cand = np.flatnonzero(unif < rate.p)
-            elif backoff:
-                cand = np.flatnonzero(unif < P.reshape(-1).take(pos))
-            else:
-                cand = None  # slack-proportional: probabilities need the math
-
-            if cand is not None:
-                pos_c, t_c, rkm_c = pos.take(cand), t.take(cand), rkm.take(cand)
-                asg_flat = asgF.reshape(-1)
-                ldf = ld.reshape(-1)
-                # The probe math here is purely elementwise per mover, so it
-                # streams over chunks (bit-exact by construction) and only
-                # the surviving indices are kept full-width.  The slack
-                # branch below cannot chunk the same way: its contention
-                # bincount is a cross-mover reduction.
-                parts = []
-                for cs, ce in iter_chunks(pos_c.size):
-                    p_ch, t_ch = pos_c[cs:ce], t_c[cs:ce]
-                    tf_ch = rkm_c[cs:ce] + t_ch
-                    moving = tf_ch != asg_flat.take(p_ch)
-                    hyp = ldf.take(tf_ch) + (
-                        np.where(moving, 1.0, 0.0)
-                        if uw
-                        else np.where(moving, wF.take(p_ch), 0.0)
-                    )
-                    lat = probe_latency(t_ch, tf_ch, hyp)
-                    thr_c = q0 if uthr else thrF.take(p_ch)
-                    part = np.flatnonzero((lat <= thr_c) & moving)
-                    if cs:
-                        part += cs
-                    parts.append(part)
-                if not parts:
-                    idx = np.empty(0, dtype=np.int64)
-                elif len(parts) == 1:
-                    idx = parts[0]
-                else:
-                    idx = np.concatenate(parts)
-                fu_f, t_f = pos_c.take(idx), t_c.take(idx)
-                tf_f = rkm_c.take(idx) + t_f
-                of_f = asg_flat.take(fu_f)
-            else:
-                tf = rkm + t
-                of = asgF.reshape(-1).take(pos)
-                moving = tf != of
-                hyp = ld.reshape(-1).take(tf) + (
-                    np.where(moving, 1.0, 0.0) if uw else np.where(moving, wF.take(pos), 0.0)
-                )
-                lat = probe_latency(t, tf, hyp)
-                thr_all = q0 if uthr else thrF.take(pos)
-                oidx = np.flatnonzero((lat <= thr_all) & moving)
-                pos_o, tf_o, of_o, t_o = (
-                    pos.take(oidx), tf.take(oidx), of.take(oidx), t.take(oidx)
-                )
-                if uthr:
-                    if capRF is None:  # per-resource capacity at the one q
-                        cap_row = profile.capacities_at(
-                            np.arange(m, dtype=np.int64), np.full(m, q0)
-                        ).astype(np.float64)
-                        capRF = np.tile(cap_row, R)
-                    caps = capRF.take(tf_o)
-                else:
-                    caps = profile.capacities_at(
-                        t_o, thr_all.take(oidx)
-                    ).astype(np.float64)
-                free = np.maximum(0.0, caps - ld.reshape(-1).take(tf_o))
-                # contention: unsatisfied users per current resource, batchwide
-                if uthr and uw:
-                    # uniform q + unit weights: everyone on an over-threshold
-                    # resource is unsatisfied, and a mover's own resource is
-                    # over threshold — so the unsatisfied count there is just
-                    # its load count, already tracked in ``ld``.
-                    contention = np.maximum(ld.reshape(-1).take(of_o), 1.0)
-                else:
-                    # (without alpha masking the mover positions are exactly
-                    # the unsatisfied positions, so the scan is already done)
-                    unsat_pos = pos if not alpha_draws else np.flatnonzero(unsat)
-                    occ = np.bincount(
-                        asgF.reshape(-1).take(unsat_pos), minlength=A * m
-                    )
-                    contention = np.maximum(occ.take(of_o), 1)
-                probs = np.clip(free / contention, rate.floor, 1.0)
-                idx = np.flatnonzero(unif.take(oidx) < probs)
-                fu_f, tf_f, of_f = pos_o.take(idx), tf_o.take(idx), of_o.take(idx)
-                t_f = t_o.take(idx)
-
-            n_committed = np.bincount(fu_f // n, minlength=A)
-            if fu_f.size:
-                if uw:
-                    # unit weights: plain integer bincounts; the integer count
-                    # equals the serial sum of 1.0s exactly (counts < 2**53)
-                    sub = np.bincount(of_f, minlength=A * m)
-                    add = np.bincount(tf_f, minlength=A * m)
-                else:
-                    w_f = wF.take(fu_f)
-                    sub = np.bincount(of_f, weights=w_f, minlength=A * m)
-                    add = np.bincount(tf_f, weights=w_f, minlength=A * m)
-                ld_flat = ld.reshape(-1)
-                ld_flat -= sub  # (ld - sub) + add: the scalar update's IEEE order
-                ld_flat += add
-                asgF.reshape(-1)[fu_f] = tf_f
-            total_moves[rows] += n_committed
-            total_attempts[rows] += n_committed
-        else:
-            fu_f = tf_f = t_f = np.empty(0, dtype=np.int64)
-            n_committed = np.zeros(A, dtype=np.int64)
-
-        if backoff:
-            # Mirrors AdaptiveBackoffRate.observe: quiet users recover,
-            # movers keep p, movers *still* unsatisfied post-move back off
-            # (from the original p, not the recovered one).
-            recovered = np.minimum(P * rate.recover, 1.0)
-            if fu_f.size:
-                p_moved = P.reshape(-1).take(fu_f)
-                recovered.reshape(-1)[fu_f] = p_moved
-                post_lat = probe_latency(t_f, tf_f, ld.reshape(-1).take(tf_f))
-                collided = post_lat > (q0 if uthr else thrF.take(fu_f))
-                recovered.reshape(-1)[fu_f[collided]] = np.maximum(
-                    p_moved[collided] * rate.backoff, rate.floor
-                )
-            P = recovered
-
-        # -- per-rep quiescence (idle rounds only; same dirty-flag dance) ----
-        moved_rows = n_committed > 0
-        quiescence_dirty[rows[moved_rows]] = True
-        check = ~moved_rows & quiescence_dirty[rows]
-        if check.any():
-            dead_q = np.zeros(A, dtype=bool)
-            for k in np.nonzero(check)[0]:
-                r = rows[k]
-                verdict = protocol.is_quiescent(State(instance, asgF[k] - k * m))
-                if verdict:
-                    statuses[r] = "quiescent"
-                    rounds[r] = rounds_executed[r]
-                    n_satisfied_final[r] = n - int(n_unsat[k])
-                    assignment[r] = asgF[k] - k * m
-                    dead_q[k] = True
-                elif verdict is False:
-                    quiescence_dirty[r] = False
-            if dead_q.any():
-                keep = ~dead_q
-                kept_off = row_off[:A][keep]
-                rows, ld = rows[keep], ld[keep]
-                asgF = asgF[keep]
-                asgF -= (kept_off - row_off[: rows.size])[:, None]
-                if backoff:
-                    P = P[keep]
-                live_rngs = [g for g, kp in zip(live_rngs, keep) if kp]
+    engine.run()
 
     return BatchRunResult(
-        statuses=statuses,
-        rounds=rounds,
-        total_moves=total_moves,
-        total_attempts=total_attempts,
-        total_messages=total_messages,
-        n_satisfied=n_satisfied_final,
-        satisfying_rounds=satisfying_rounds,
-        n_users=n,
-        n_resources=m,
+        statuses=engine.statuses,
+        rounds=engine.rounds,
+        total_moves=engine.total_moves,
+        total_attempts=engine.total_attempts,
+        total_messages=engine.total_messages,
+        n_satisfied=engine.n_satisfied_final,
+        satisfying_rounds=engine.satisfying_rounds,
+        n_users=engine.n,
+        n_resources=engine.m,
         protocol=protocol.describe(),
         schedule=schedule.describe(),
         seeds=seed_values,
-        final_assignment=assignment,
+        final_assignment=engine.assignment,
+        last_event_round=engine.last_event_round,
     )
 
 
@@ -596,6 +1077,7 @@ def replicate_batched(
     *,
     base_seed: int = 0,
     seed_key: str | None = None,
+    rep_indices: Sequence[int] | None = None,
 ) -> list[RunResult]:
     """Batched analogue of :func:`~repro.sim.parallel.replicate`.
 
@@ -606,6 +1088,11 @@ def replicate_batched(
     bit-identical to what ``backend="serial"`` would produce.  Raises for
     specs without a batched kernel; ``replicate`` handles the graceful
     fallback.
+
+    ``rep_indices`` runs an arbitrary slice of a larger replication set:
+    seeds are derived from the given global indices instead of
+    ``range(n_reps)``, which is how the hybrid backend shards one logical
+    batch across processes without changing any per-rep stream.
     """
     from .parallel import _spec_components, spec_seed_key
 
@@ -614,8 +1101,14 @@ def replicate_batched(
     reason = batch_support(spec)
     if reason is not None:
         raise ValueError(f"spec has no batched kernel: {reason}")
+    if rep_indices is None:
+        indices: Sequence[int] = range(n_reps)
+    else:
+        indices = [int(i) for i in rep_indices]
+        if len(indices) != n_reps:
+            raise ValueError("rep_indices must have exactly n_reps entries")
     key = seed_key if seed_key is not None else spec_seed_key(spec)
-    rep_seeds = [seed_from_key(base_seed, key, str(i)) for i in range(n_reps)]
+    rep_seeds = [seed_from_key(base_seed, key, str(i)) for i in indices]
     # instance_seed_key == "fixed" (enforced above): the instance does not
     # depend on the replication seed, so one build serves the whole batch.
     instance, protocol, schedule = _spec_components(spec, rep_seeds[0])

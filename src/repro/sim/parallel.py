@@ -11,15 +11,21 @@ row aggregates dozens of replications.  This module runs them:
   process pools can import it).
 - :func:`replicate` — run ``n_reps`` replications with independent spawned
   seeds: on the vectorized batched engine (:mod:`repro.sim.batch`) when
-  the spec supports it, serially, or on a
-  :class:`~concurrent.futures.ProcessPoolExecutor`.
+  the spec supports it, serially, on a
+  :class:`~concurrent.futures.ProcessPoolExecutor`, or — the hybrid
+  backend — sharded across the pool with each shard batched.
 
 Per the HPC guides, parallelism is process-based (the work is pure Python
-+ NumPy and releases no GIL) and the fan-out unit is a whole replication —
-large enough that pickling overhead is negligible.  The batched backend
-sidesteps the per-replication Python round loop entirely by stacking all
-replications into ``(R, n)`` arrays; see :mod:`repro.sim.batch` for its
-RNG stream contract and kernel coverage.
++ NumPy and releases no GIL).  On the scalar path the fan-out unit is a
+whole replication — large enough that pickling overhead is negligible.
+The batched backend sidesteps the per-replication Python round loop
+entirely by stacking all replications into ``(R, n)`` arrays; the hybrid
+backend composes the two axes (processes × lockstep batch), sharding the
+replication set contiguously and running each shard through
+:func:`~repro.sim.batch.replicate_batched` with its *global* replication
+indices — per-rep seeds depend only on those indices, so the result is
+bit-identical to every other backend regardless of shard count.  See
+:mod:`repro.sim.batch` for the RNG stream contract and kernel coverage.
 """
 
 from __future__ import annotations
@@ -47,7 +53,7 @@ __all__ = [
 #: ``"auto"`` picks the batched engine whenever the spec supports it.
 _DEFAULT_BACKEND = "auto"
 
-_BACKENDS = ("auto", "batched", "serial")
+_BACKENDS = ("auto", "batched", "serial", "hybrid")
 
 #: Does GENERATORS[name] accept an ``rng`` kwarg?  The signature probe is
 #: pure reflection on a fixed registry, so it is cached per generator name
@@ -59,8 +65,11 @@ def set_default_backend(backend: str) -> str:
     """Set the process-wide default ``replicate`` backend; returns the old one.
 
     ``"auto"`` (the default) selects the batched engine for supported
-    specs, ``"batched"`` forces it where possible, ``"serial"`` always
-    uses the scalar engine (optionally fanned out over processes).
+    specs (sharded across the process pool when one is requested),
+    ``"batched"`` forces the single-process batched engine where
+    possible, ``"hybrid"`` forces the processes × batch composition,
+    ``"serial"`` always uses the scalar engine (optionally fanned out
+    over processes).
     """
     global _DEFAULT_BACKEND
     if backend not in _BACKENDS:
@@ -160,6 +169,39 @@ def _default_workers() -> int:
     return max(1, min(cpus - 1, 8))
 
 
+def _run_batched_shard(
+    spec: RunSpec, indices: list[int], base_seed: int, seed_key: str
+) -> list[RunResult]:
+    """One hybrid shard: batch the given *global* replication indices.
+
+    Module-level so process pools can pickle it.  Seeds derive from the
+    global indices (not the shard-local positions), which is the whole
+    bit-identity argument: resharding changes who computes a replication,
+    never what it computes.
+    """
+    from .batch import replicate_batched
+
+    return replicate_batched(
+        spec,
+        len(indices),
+        base_seed=base_seed,
+        seed_key=seed_key,
+        rep_indices=indices,
+    )
+
+
+def _shard_indices(n_reps: int, n_shards: int) -> list[list[int]]:
+    """Split ``range(n_reps)`` into ``n_shards`` contiguous, near-even shards."""
+    base, extra = divmod(n_reps, n_shards)
+    shards = []
+    start = 0
+    for j in range(n_shards):
+        size = base + (1 if j < extra else 0)
+        shards.append(list(range(start, start + size)))
+        start += size
+    return shards
+
+
 def spec_seed_key(spec: RunSpec) -> str:
     """Stable string identifying the *full* configuration of a spec.
 
@@ -186,14 +228,18 @@ def replicate(
 
     ``backend`` selects the execution engine: ``"auto"`` (the default, via
     :func:`set_default_backend`) runs supported specs on the vectorized
-    batched engine when there is more than one replication; ``"batched"``
-    forces the batched engine wherever the spec supports it (falling back
-    to the scalar path otherwise); ``"serial"`` always uses the scalar
-    engine.  On the scalar path, ``workers=0`` (default) runs serially —
-    the right choice inside tests and small benches; ``workers=None``
-    picks ``min(cpus - 1, 8)``; any other value sets the pool size
-    explicitly.  ``workers`` is ignored by the batched engine (one process
-    does the whole batch).
+    batched engine when there is more than one replication — sharded
+    across the process pool (the *hybrid* composition) whenever a pool is
+    requested via ``workers``; ``"batched"`` forces the single-process
+    batched engine wherever the spec supports it (falling back to the
+    scalar path otherwise); ``"hybrid"`` forces the processes × batch
+    composition (degenerating to plain batched when only one shard makes
+    sense, and to the scalar pool when the spec has no kernel);
+    ``"serial"`` always uses the scalar engine.  ``workers=0`` (default)
+    means no pool — the right choice inside tests and small benches;
+    ``workers=None`` picks ``min(cpus - 1, 8)``; any other value sets the
+    pool size explicitly.  ``workers`` is ignored by ``backend="batched"``
+    (one process does the whole batch).
 
     Seeds are derived from ``base_seed`` plus :func:`spec_seed_key`, so
     every distinct configuration gets its own stream.  Pass an explicit
@@ -212,14 +258,43 @@ def replicate(
         raise ValueError(f"unknown backend {backend!r}; expected one of {_BACKENDS}")
 
     batched = False
-    if backend == "batched" or (backend == "auto" and n_reps >= 2):
+    hybrid = False
+    if backend in ("batched", "hybrid") or (backend == "auto" and n_reps >= 2):
         from .batch import batch_supported
 
-        batched = batch_supported(spec)
+        if batch_supported(spec):
+            if backend == "batched":
+                batched = True
+            else:
+                # auto/hybrid: shard across the pool when one is wanted.
+                pool_size = _default_workers() if workers is None else int(workers)
+                n_shards = min(max(1, pool_size), n_reps)
+                if n_shards >= 2:
+                    hybrid = True
+                else:
+                    batched = True
+        # An unsupported spec under backend="hybrid" degrades to the
+        # scalar pool below — same graceful fallback as "batched"/"auto".
 
     key = seed_key if seed_key is not None else spec_seed_key(spec)
     with _OBS.span("parallel.replicate"):
-        if batched:
+        if hybrid:
+            serial = False
+            shards = _shard_indices(n_reps, n_shards)
+            with ProcessPoolExecutor(max_workers=n_shards) as pool:
+                shard_results = list(
+                    pool.map(
+                        _run_batched_shard,
+                        [spec] * n_shards,
+                        shards,
+                        [base_seed] * n_shards,
+                        [key] * n_shards,
+                    )
+                )
+            # Contiguous shards in submission order: concatenation restores
+            # global replication order.
+            results = [r for shard in shard_results for r in shard]
+        elif batched:
             from .batch import replicate_batched
 
             serial = False
@@ -254,7 +329,7 @@ def replicate(
                 "generator": spec.generator,
                 "n_reps": n_reps,
                 "serial": serial,
-                "backend": "batched" if batched else "serial",
+                "backend": "hybrid" if hybrid else ("batched" if batched else "serial"),
                 "statuses": sorted({r.status for r in results}),
             },
         )

@@ -181,12 +181,28 @@ def test_alive_mask_stops_stream_consumption():
 def test_batch_support_reasons():
     assert batch_support(spec()) is None
     assert batch_supported(spec())
+    # Every protocol with a batched kernel is supported on kernel-friendly
+    # schedules/initials — including the ones the gate used to reject.
+    for kernel_spec in (
+        spec(protocol="multi-probe", protocol_kwargs={"d": 2}),
+        spec(protocol="permit"),
+        spec(protocol="neighborhood", protocol_kwargs={"topology": "ring", "m": 8}),
+        spec(
+            protocol="neighborhood",
+            protocol_kwargs={"topology": "ring", "m": 8, "rate": {"name": "slack-proportional"}},
+        ),
+    ):
+        assert batch_support(kernel_spec) is None, kernel_spec.protocol
+        assert batch_supported(kernel_spec), kernel_spec.protocol
     cases = {
-        "protocol": spec(protocol="permit"),
+        "protocol": spec(protocol="best-response"),
         "schedule": spec(schedule="partition", schedule_kwargs={"k": 2}),
         "instance": spec(instance_seed_key="per-rep"),
         "resample": spec(protocol_kwargs={"resample_on_self": True}),
         "initial": spec(initial="spread"),
+        "topology": spec(
+            protocol="neighborhood", protocol_kwargs={"topology": "moebius", "m": 8}
+        ),
     }
     for label, s in cases.items():
         reason = batch_support(s)
@@ -204,7 +220,7 @@ def test_unsupported_spec_falls_back_to_serial():
 def test_run_batch_rejects_unsupported_protocol():
     instance = build_instance("uniform_slack", n=32, m=4, slack=0.4)
     with pytest.raises(ValueError, match="no batched kernel"):
-        run_batch(instance, build_protocol("permit"), seeds=[1, 2])
+        run_batch(instance, build_protocol("best-response"), seeds=[1, 2])
 
 
 def test_run_batch_validation():
@@ -217,7 +233,7 @@ def test_run_batch_validation():
     with pytest.raises(ValueError):
         replicate_batched(spec(), 0)
     with pytest.raises(ValueError, match="no batched kernel"):
-        replicate_batched(spec(protocol="permit"), 2)
+        replicate_batched(spec(protocol="best-response"), 2)
 
 
 def test_single_rep_batched_matches_serial():
@@ -364,6 +380,247 @@ class TestDegenerateEdges:
         for r in serial:
             assert r.status == "satisfying"
             assert r.rounds == 0 and r.satisfying_round == 0
+
+
+# ---------------------------------------------------------------------------
+# Kernel coverage: multi-probe, permit and neighborhood match the scalar
+# engine bit for bit on the same grid as the sampling kernel.
+# ---------------------------------------------------------------------------
+
+
+#: (protocol, kwargs) pairs spanning every new kernel, its tunables and
+#: the rate rules it composes with (permit takes no rate by design).
+KERNEL_PROTOCOLS = [
+    ("multi-probe", {"d": 2}),
+    ("multi-probe", {"d": 3, "rate": {"name": "slack-proportional", "floor": 0.05}}),
+    (
+        "multi-probe",
+        {
+            "d": 2,
+            "rate": {
+                "name": "adaptive-backoff",
+                "p0": 0.8,
+                "backoff": 0.5,
+                "recover": 1.25,
+                "floor": 0.05,
+            },
+        },
+    ),
+    ("permit", {}),
+    ("neighborhood", {"topology": "ring", "m": M}),
+    (
+        "neighborhood",
+        {
+            "topology": "random-regular",
+            "m": M,
+            "rate": {"name": "slack-proportional", "floor": 0.05},
+        },
+    ),
+]
+
+
+@pytest.mark.parametrize("gen_name,gen_kwargs", GENERATORS)
+@pytest.mark.parametrize(
+    "proto_name,proto_kwargs", KERNEL_PROTOCOLS, ids=lambda p: str(p)
+)
+@pytest.mark.parametrize("sched_name,sched_kwargs", SCHEDULES)
+def test_kernel_bit_parity_vs_scalar(
+    gen_name, gen_kwargs, proto_name, proto_kwargs, sched_name, sched_kwargs
+):
+    instance = build_instance(gen_name, n=N, m=M, **gen_kwargs)
+    seeds = [21, 22]
+    batch = run_batch(
+        instance,
+        build_protocol(proto_name, **proto_kwargs),
+        seeds=[np.random.default_rng(s) for s in seeds],
+        schedule=build_schedule(sched_name, **sched_kwargs),
+        max_rounds=MAX_ROUNDS,
+        initial="pile",
+    )
+    for i, s in enumerate(seeds):
+        ref = run(
+            instance,
+            build_protocol(proto_name, **proto_kwargs),
+            seed=np.random.default_rng(s),
+            schedule=build_schedule(sched_name, **sched_kwargs),
+            max_rounds=MAX_ROUNDS,
+            initial="pile",
+            keep_state=True,
+        )
+        assert batch.statuses[i] == ref.status
+        assert int(batch.rounds[i]) == ref.rounds
+        assert int(batch.total_moves[i]) == ref.total_moves
+        assert int(batch.total_attempts[i]) == ref.total_attempts
+        assert int(batch.total_messages[i]) == ref.total_messages
+        assert int(batch.n_satisfied[i]) == ref.n_satisfied
+        sr = int(batch.satisfying_rounds[i])
+        assert (None if sr < 0 else sr) == ref.satisfying_round
+        assert np.array_equal(batch.final_assignment[i], ref.final_state.assignment)
+
+
+# ---------------------------------------------------------------------------
+# Batched event injection: mid-run perturbations replay identically.
+# ---------------------------------------------------------------------------
+
+
+def _event_script(m):
+    from repro.core.latency import AffineLatency
+    from repro.sim.events import (
+        ResourceFailure,
+        ResourceRecovery,
+        UserArrival,
+        UserDeparture,
+    )
+
+    return [
+        ResourceFailure(3, 1),
+        ResourceRecovery(7, 1, AffineLatency(1.0, 0.0)),
+        UserArrival(10, thresholds=np.full(6, 28.0)),
+        UserDeparture(13, users=[0, 2, 5]),
+    ]
+
+
+@pytest.mark.parametrize(
+    "proto_name,proto_kwargs",
+    [
+        ("qos-sampling", {}),
+        ("multi-probe", {"d": 2}),
+        ("permit", {}),
+        ("neighborhood", {"topology": "ring", "m": M}),
+    ],
+    ids=lambda p: str(p),
+)
+def test_batched_event_injection_parity(proto_name, proto_kwargs):
+    """Failure/recovery/arrival/departure events through the batched engine
+    match a scalar run of the same script, including recovery accounting."""
+    instance = build_instance("uniform_slack", n=N, m=M, slack=0.35)
+    seeds = [41, 42, 43]
+    batch = run_batch(
+        instance,
+        build_protocol(proto_name, **proto_kwargs),
+        seeds=[np.random.default_rng(s) for s in seeds],
+        max_rounds=MAX_ROUNDS,
+        initial="pile",
+        events=_event_script(M),
+    )
+    for i, s in enumerate(seeds):
+        ref = run(
+            instance,
+            build_protocol(proto_name, **proto_kwargs),
+            seed=np.random.default_rng(s),
+            max_rounds=MAX_ROUNDS,
+            initial="pile",
+            events=_event_script(M),
+            keep_state=True,
+        )
+        assert batch.statuses[i] == ref.status
+        assert int(batch.rounds[i]) == ref.rounds
+        assert int(batch.total_moves[i]) == ref.total_moves
+        assert int(batch.total_messages[i]) == ref.total_messages
+        assert int(batch.n_satisfied[i]) == ref.n_satisfied
+        assert batch.last_event_round == ref.last_event_round
+        sr = int(batch.satisfying_rounds[i])
+        assert (None if sr < 0 else sr) == ref.satisfying_round
+        assert np.array_equal(batch.final_assignment[i], ref.final_state.assignment)
+
+
+def test_run_batch_rejects_unsupported_events():
+    from repro.sim.events import UserDeparture
+
+    instance = build_instance("uniform_slack", n=32, m=4, slack=0.4)
+    protocol = build_protocol("qos-sampling")
+    with pytest.raises(ValueError, match="random-count"):
+        run_batch(instance, protocol, seeds=[1, 2], events=[UserDeparture(5, count=3)])
+
+
+# ---------------------------------------------------------------------------
+# Hybrid backend: sharding across a pool never changes a single bit.
+# ---------------------------------------------------------------------------
+
+
+def test_hybrid_bit_identical_across_worker_counts():
+    """Per-rep seeds depend only on the global rep index, so any shard
+    split — including the degenerate 1-shard batched path — reproduces the
+    serial results exactly."""
+    s = spec()
+    expected = [
+        summary(r) for r in replicate(s, 9, base_seed=7, workers=0, backend="serial")
+    ]
+    for workers in (1, 2, 3, 5, None):
+        got = [
+            summary(r)
+            for r in replicate(s, 9, base_seed=7, workers=workers, backend="hybrid")
+        ]
+        assert got == expected, f"workers={workers}"
+
+
+def test_hybrid_bit_identical_under_chunking():
+    """User-axis chunk size is an execution detail: tiny chunks force the
+    chunked kernel blocks without perturbing hybrid results."""
+    from repro.core.memory import set_user_chunk
+
+    s = spec(protocol_kwargs={"rate": {"name": "slack-proportional"}})
+    expected = [
+        summary(r) for r in replicate(s, 6, base_seed=3, workers=0, backend="serial")
+    ]
+    previous = set_user_chunk(17)
+    try:
+        got = [
+            summary(r)
+            for r in replicate(s, 6, base_seed=3, workers=2, backend="hybrid")
+        ]
+    finally:
+        set_user_chunk(previous)
+    assert got == expected
+
+
+def test_hybrid_falls_back_on_unsupported_spec():
+    s = spec(schedule="partition", schedule_kwargs={"k": 2})
+    via_hybrid = replicate(s, 4, base_seed=3, workers=2, backend="hybrid")
+    via_serial = replicate(s, 4, base_seed=3, workers=0, backend="serial")
+    assert [summary(r) for r in via_hybrid] == [summary(r) for r in via_serial]
+
+
+@pytest.mark.stress
+def test_hybrid_beats_both_pure_legs_on_multicore():
+    """The ISSUE claim: at R=32 on >=2 cores the hybrid backend beats the
+    scalar pool outright and at least matches single-process batched."""
+    import os
+
+    cores = os.cpu_count() or 1
+    if cores < 2:
+        pytest.skip("hybrid degenerates to plain batched on one core")
+    s = spec(
+        generator_kwargs={"n": 2000, "m": 64, "slack": 0.4},
+        max_rounds=64,
+        label="stress-hybrid",
+    )
+    reps = 32
+    workers = min(4, cores)
+    replicate(s, reps, base_seed=0, workers=workers, backend="serial")  # warm-up
+    replicate(s, reps, base_seed=0, backend="batched")
+    replicate(s, reps, base_seed=0, workers=workers, backend="hybrid")
+    pool_best = batched_best = hybrid_best = float("inf")
+    for _ in range(5):
+        t0 = time.perf_counter()
+        pool_res = replicate(s, reps, base_seed=0, workers=workers, backend="serial")
+        pool_best = min(pool_best, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        batched_res = replicate(s, reps, base_seed=0, backend="batched")
+        batched_best = min(batched_best, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        hybrid_res = replicate(s, reps, base_seed=0, workers=workers, backend="hybrid")
+        hybrid_best = min(hybrid_best, time.perf_counter() - t0)
+    assert [summary(r) for r in hybrid_res] == [summary(r) for r in pool_res]
+    assert [summary(r) for r in hybrid_res] == [summary(r) for r in batched_res]
+    assert hybrid_best < pool_best, (
+        f"hybrid {hybrid_best:.3f}s vs pool {pool_best:.3f}s @{workers} workers"
+    )
+    # Process spin-up costs a little; "beats batched" is the multi-core
+    # expectation but noise-tolerant: allow 10% slack.
+    assert hybrid_best <= batched_best * 1.1, (
+        f"hybrid {hybrid_best:.3f}s vs batched {batched_best:.3f}s @{workers} workers"
+    )
 
 
 # ---------------------------------------------------------------------------

@@ -360,7 +360,16 @@ def test_frozen_bench_engine_schema(bench_payload):
     for f in PROVENANCE_FIELDS:
         assert f in payload["provenance"]
     kinds = {c["kind"] for c in payload["cells"]}
-    assert kinds == {"engine", "replicate", "batched", "query", "runs", "obs", "aggregate"}
+    assert kinds == {
+        "engine",
+        "replicate",
+        "batched",
+        "hybrid",
+        "query",
+        "runs",
+        "obs",
+        "aggregate",
+    }
     engine = next(c for c in payload["cells"] if c["kind"] == "engine")
     assert set(engine) >= {"name", "seconds", "rounds", "rounds_per_sec", "status"}
     batched = next(c for c in payload["cells"] if c["kind"] == "batched")
@@ -373,6 +382,18 @@ def test_frozen_bench_engine_schema(bench_payload):
         "user_rounds_per_sec",
         "serial_user_rounds_per_sec",
         "speedup_vs_serial",
+    }
+    hybrid = next(c for c in payload["cells"] if c["kind"] == "hybrid")
+    assert set(hybrid) >= {
+        "name",
+        "reps",
+        "workers",
+        "seconds",
+        "pool_seconds",
+        "batched_seconds",
+        "user_rounds_per_sec",
+        "speedup_vs_pool",
+        "speedup_vs_batched",
     }
     runs = next(c for c in payload["cells"] if c["kind"] == "runs")
     assert set(runs) >= {

@@ -503,3 +503,34 @@ def test_workers_json_shape(tmp_path):
     (worker,) = table["workers"]
     assert worker["cells_done"] == 3 and worker["host"]
     assert read_workers(tmp_path) is None  # no table here
+
+
+def test_workers_roster_and_cli(tmp_path, capsys):
+    from repro.cli import main
+    from repro.runs import render_workers, workers_roster
+
+    server, sbox = serve_in_thread(tmp_path, lease_ttl_s=10.0)
+    thread, box = run_worker_thread(sbox["address"])
+    thread.join(120)
+    server.join(120)
+
+    roster = workers_roster(tmp_path / "net")
+    assert roster is not None
+    (row,) = roster
+    assert row["cells_done"] == 3
+    assert row["alive"] in (True, False)  # joined view carries liveness
+    assert "lease_expired" in row
+
+    text = render_workers(roster)
+    assert "workers —" in text and row["id"][:8] in text
+
+    assert main(["runs", "workers", str(tmp_path / "net")]) == 0
+    out = capsys.readouterr().out
+    assert "workers —" in out
+
+    assert main(["runs", "workers", str(tmp_path / "net"), "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload[0]["cells_done"] == 3
+
+    # No workers.json (plain local sweep) -> explicit error, not a crash.
+    assert main(["runs", "workers", str(tmp_path)]) == 1
